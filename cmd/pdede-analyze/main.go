@@ -1,0 +1,37 @@
+// Command pdede-analyze reproduces the paper's §3 analysis (Figures 3–8)
+// over the application suite.
+//
+// Usage:
+//
+//	pdede-analyze                 # full 102-app suite
+//	pdede-analyze -apps 16        # sampled subset
+//	pdede-analyze -figs fig7,fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	pdedesim "repro"
+)
+
+func main() {
+	var (
+		apps   = flag.Int("apps", 0, "number of applications (0 = all 102)")
+		instrs = flag.Uint64("instrs", 3_500_000, "instructions per app")
+		figs   = flag.String("figs", "fig3,fig4,fig5,fig6,fig7,fig8", "figures to reproduce")
+	)
+	flag.Parse()
+
+	opts := pdedesim.SuiteOptions{Apps: *apps, TotalInstrs: *instrs}
+	for _, id := range strings.Split(*figs, ",") {
+		id = strings.TrimSpace(id)
+		if err := pdedesim.RunExperiment(id, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pdede-analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,97 @@
+// Command pdede-experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	pdede-experiments -list                  # show all experiment ids
+//	pdede-experiments -run fig10             # one experiment, full suite
+//	pdede-experiments -run all -apps 16      # everything on a sampled suite
+//	pdede-experiments -run fig12b -o out.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	pdedesim "repro"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id, comma-separated list, or 'all'")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		apps   = flag.Int("apps", 0, "number of applications (0 = all 102)")
+		instrs = flag.Uint64("instrs", 3_500_000, "instructions per app")
+		warmup = flag.Uint64("warmup", 1_500_000, "warmup instructions")
+		out    = flag.String("o", "", "also write the report to this file")
+		dump   = flag.String("dump-suite", "", "run the Figure 10 designs over the suite and write per-app JSON records to this file")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		opts := pdedesim.SuiteOptions{Apps: *apps, TotalInstrs: *instrs, WarmupInstrs: *warmup}
+		if err := pdedesim.DumpSuiteJSON(opts, *dump); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *dump)
+		return
+	}
+
+	if *list || *run == "" {
+		fmt.Println("paper artifacts:")
+		for _, e := range pdedesim.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("extensions:")
+		for _, e := range pdedesim.ExtensionExperiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: pdede-experiments -run <id>|all|ext")
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var ids []string
+	switch *run {
+	case "all":
+		for _, e := range pdedesim.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	case "ext":
+		for _, e := range pdedesim.ExtensionExperiments() {
+			ids = append(ids, e.ID)
+		}
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	opts := pdedesim.SuiteOptions{Apps: *apps, TotalInstrs: *instrs, WarmupInstrs: *warmup}
+	for _, id := range ids {
+		start := time.Now()
+		if err := pdedesim.RunExperiment(id, opts, w); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(w, "\n[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdede-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command pdede-sim runs one application through one or more BTB designs
+// and prints IPC/MPKI metrics.
+//
+// Usage:
+//
+//	pdede-sim -app Server-oltp-primary -designs baseline,pdede-me
+//	pdede-sim -list                      # list catalog applications
+//	pdede-sim -app Browser-imaging -designs all -instrs 5000000
+//
+// Designs: baseline, baseline-8k, dedup, pdede, pdede-mt, pdede-me,
+// shotgun, twolevel, perfect, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	pdedesim "repro"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "Server-oltp-primary", "catalog application name")
+		appFile = flag.String("app-file", "", "JSON application config (overrides -app)")
+		designs = flag.String("designs", "baseline,pdede,pdede-mt,pdede-me", "comma-separated designs (or 'all')")
+		instrs  = flag.Uint64("instrs", 3_500_000, "trace length in instructions")
+		warmup  = flag.Uint64("warmup", 1_500_000, "warmup instructions (unmeasured)")
+		list    = flag.Bool("list", false, "list catalog applications and exit")
+		perfDir = flag.Bool("perfect-direction", false, "use a perfect direction predictor (§5.5)")
+	)
+	flag.Parse()
+
+	if *list {
+		apps := pdedesim.Catalog()
+		sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+		for _, a := range apps {
+			fmt.Printf("%-36s %-8s %6d static branches\n", a.Name, a.Category, a.StaticBranches)
+		}
+		return
+	}
+
+	var app pdedesim.App
+	var err error
+	if *appFile != "" {
+		app, err = pdedesim.LoadApp(*appFile)
+	} else {
+		app, err = pdedesim.AppByName(*appName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	opts := pdedesim.DefaultSimOptions()
+	opts.TotalInstrs = *instrs
+	opts.WarmupInstrs = *warmup
+	opts.PerfectDirection = *perfDir
+
+	available := map[string]func() (pdedesim.TargetPredictor, error){
+		"baseline":    pdedesim.Baseline(4096),
+		"baseline-8k": pdedesim.Baseline(8192),
+		"dedup":       pdedesim.DedupOnly(),
+		"pdede":       pdedesim.PDedeDefault(),
+		"pdede-mt":    pdedesim.PDedeMultiTarget(),
+		"pdede-me":    pdedesim.PDedeMultiEntry(),
+		"shotgun":     pdedesim.ShotgunBTB(),
+		"twolevel":    pdedesim.TwoLevel(256, pdedesim.PDedeMultiEntry()),
+		"perfect":     pdedesim.PerfectBTB(),
+	}
+	order := []string{"baseline", "baseline-8k", "dedup", "pdede", "pdede-mt", "pdede-me", "shotgun", "twolevel", "perfect"}
+
+	var picked []string
+	if *designs == "all" {
+		picked = order
+	} else {
+		for _, d := range strings.Split(*designs, ",") {
+			d = strings.TrimSpace(d)
+			if _, ok := available[d]; !ok {
+				fatal(fmt.Errorf("unknown design %q (have: %s)", d, strings.Join(order, ", ")))
+			}
+			picked = append(picked, d)
+		}
+	}
+
+	fmt.Printf("app %s (%s, %d static branches), %d instrs (%d warmup)\n\n",
+		app.Name, app.Category, app.StaticBranches, *instrs, *warmup)
+	tr, err := pdedesim.BuildTrace(app, opts.TotalInstrs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var base *pdedesim.Result
+	fmt.Printf("%-12s %8s %10s %10s %10s %11s %9s\n",
+		"design", "IPC", "BTB-MPKI", "dir-MPKI", "fe-stall%", "btb-stall%", "vs-first")
+	for _, name := range picked {
+		res, err := pdedesim.SimulateTrace(app, tr, available[name], opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		vs := "-"
+		if base == nil {
+			base = res
+		} else {
+			vs = fmt.Sprintf("%+.1f%%", 100*res.Speedup(base))
+		}
+		fmt.Printf("%-12s %8.3f %10.3f %10.3f %9.1f%% %10.1f%% %9s\n",
+			name, res.IPC(), res.BTBMPKI(), res.DirMPKI(),
+			100*res.FrontendStallFrac(), 100*res.BTBResteerShareOfStalls(), vs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdede-sim:", err)
+	os.Exit(1)
+}

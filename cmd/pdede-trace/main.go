@@ -1,0 +1,144 @@
+// Command pdede-trace generates, inspects and exports synthetic branch
+// traces.
+//
+// Usage:
+//
+//	pdede-trace -app Browser-wasm-runtime -stats
+//	pdede-trace -app Server-oltp-primary -o oltp.pdt     # write binary trace
+//	pdede-trace -i oltp.pdt -stats                       # read it back
+//	pdede-trace -app Browser-imaging -dump 20            # show first records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pdedesim "repro"
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "catalog application to synthesize")
+		instrs  = flag.Uint64("instrs", 3_500_000, "trace length in instructions")
+		out     = flag.String("o", "", "write binary trace to file")
+		in      = flag.String("i", "", "read binary trace from file instead of synthesizing")
+		stats   = flag.Bool("stats", false, "print §3 characterization")
+		reuse   = flag.Bool("reuse", false, "print the taken-PC reuse-distance profile")
+		dump    = flag.Int("dump", 0, "print the first N records")
+	)
+	flag.Parse()
+
+	var (
+		tr  *trace.Memory
+		err error
+	)
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dec, err := trace.NewDecoder(f)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.Collect(dec.Name(), dec)
+		if err != nil {
+			fatal(err)
+		}
+	case *appName != "":
+		app, err := pdedesim.AppByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = pdedesim.BuildTrace(app, *instrs)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -app or -i (see -h)"))
+	}
+
+	fmt.Printf("trace %s: %d records, %d instructions\n", tr.TraceName, len(tr.Records), tr.Instructions())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, tr.TraceName, tr.Open()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("wrote %s (%.1f MB, %.2f bytes/record)\n",
+			*out, float64(st.Size())/1e6, float64(st.Size())/float64(len(tr.Records)))
+	}
+
+	if *dump > 0 {
+		n := *dump
+		if n > len(tr.Records) {
+			n = len(tr.Records)
+		}
+		for i := 0; i < n; i++ {
+			b := tr.Records[i]
+			fmt.Printf("%6d %-14s pc=%v -> %v taken=%v block=%d\n",
+				i, b.Kind, b.PC, b.Target, b.Taken, b.BlockLen)
+		}
+	}
+
+	if *stats {
+		c, err := analysis.Characterize(tr.Open())
+		if err != nil {
+			fatal(err)
+		}
+		tg, rg, pg, of := c.UniqueShare()
+		fmt.Printf(`
+dynamic branches      %d (taken %.1f%%)
+static branch PCs     %d (taken %d)
+class mix (taken)     cond %.1f%%  uncond %.1f%%  indirect %.1f%%  return %.1f%%
+unique targets        %d (%.1f%% of taken PCs)
+unique regions        %d (%.3f%%)
+unique pages          %d (%.2f%%)
+unique offsets        %d (%.1f%%)
+targets per page      %.1f
+targets per region    %.0f
+same-page (dynamic)   %.1f%%
+`,
+			c.DynBranches, 100*c.DynTakenRate(),
+			c.StaticPCs, c.StaticTakenPCs,
+			100*c.ClassShare(isa.ClassCondDirect), 100*c.ClassShare(isa.ClassUncondDirect),
+			100*c.ClassShare(isa.ClassIndirect), 100*c.ClassShare(isa.ClassReturn),
+			c.UniqueTargets, 100*tg,
+			c.UniqueRegions, 100*rg,
+			c.UniquePages, 100*pg,
+			c.UniqueOffsets, 100*of,
+			c.TargetsPerPage(), c.TargetsPerRegion(),
+			100*c.DynSamePageRate())
+	}
+	if *reuse {
+		u, err := analysis.ReuseProfile(tr.Open())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntaken-PC working set: %d\n", u.WorkingSet())
+		fmt.Printf("stack distance P50/P90/P99: %d / %d / %d\n",
+			u.Percentile(50), u.Percentile(90), u.Percentile(99))
+		for _, c := range []int{1024, 2048, 4096, 8192, 16384} {
+			fmt.Printf("LRU miss rate @%5d entries: %.1f%%\n", c, 100*u.MissRateAt(c))
+		}
+	}
+	_ = err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdede-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Datacenter study: run the Server category of the catalog (the paper's
+// web-scale workloads) across BTB designs and report per-category means —
+// a miniature of the paper's Figure 10 focused on the workloads that
+// motivated the work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	pdedesim "repro"
+)
+
+func main() {
+	// Keep the example snappy: a dozen server apps, shorter windows.
+	var servers []pdedesim.App
+	for _, a := range pdedesim.Catalog() {
+		if a.Category == pdedesim.Server {
+			servers = append(servers, a)
+		}
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i].Name < servers[j].Name })
+	servers = servers[:12]
+
+	opts := pdedesim.DefaultSimOptions()
+	opts.TotalInstrs = 2_000_000
+	opts.WarmupInstrs = 900_000
+
+	designs := []struct {
+		name string
+		mk   func() (pdedesim.TargetPredictor, error)
+	}{
+		{"pdede", pdedesim.PDedeDefault()},
+		{"pdede-mt", pdedesim.PDedeMultiTarget()},
+		{"pdede-me", pdedesim.PDedeMultiEntry()},
+	}
+
+	type row struct {
+		app   string
+		base  float64
+		gains map[string]float64
+		reds  map[string]float64
+	}
+	var rows []row
+	sums := map[string]float64{}
+	for _, app := range servers {
+		tr, err := pdedesim.BuildTrace(app, opts.TotalInstrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := pdedesim.SimulateTrace(app, tr, pdedesim.Baseline(4096), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := row{app: app.Name, base: base.BTBMPKI(), gains: map[string]float64{}, reds: map[string]float64{}}
+		for _, d := range designs {
+			res, err := pdedesim.SimulateTrace(app, tr, d.mk, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.gains[d.name] = res.Speedup(base)
+			r.reds[d.name] = res.MPKIReduction(base)
+			sums[d.name] += res.Speedup(base)
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Printf("%-30s %10s | %22s | %22s | %22s\n", "server application", "base MPKI",
+		"pdede (ipc/mpki)", "pdede-mt (ipc/mpki)", "pdede-me (ipc/mpki)")
+	for _, r := range rows {
+		fmt.Printf("%-30s %10.2f | %+9.1f%% / %7.1f%% | %+9.1f%% / %7.1f%% | %+9.1f%% / %7.1f%%\n",
+			r.app, r.base,
+			100*r.gains["pdede"], 100*r.reds["pdede"],
+			100*r.gains["pdede-mt"], 100*r.reds["pdede-mt"],
+			100*r.gains["pdede-me"], 100*r.reds["pdede-me"])
+	}
+	fmt.Println()
+	for _, d := range designs {
+		fmt.Printf("mean IPC gain %-9s %+.1f%%\n", d.name+":", 100*sums[d.name]/float64(len(rows)))
+	}
+}

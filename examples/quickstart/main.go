@@ -1,0 +1,44 @@
+// Quickstart: simulate one frontend-bound application on the baseline BTB
+// and on PDede, and print the headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pdedesim "repro"
+)
+
+func main() {
+	// Pick an application from the built-in catalog (102 synthetic apps
+	// calibrated to the paper's branch-population analysis).
+	app, err := pdedesim.AppByName("Server-oltp-primary")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build its dynamic branch trace once; traces are deterministic and
+	// replayable, so both designs see exactly the same stream.
+	opts := pdedesim.DefaultSimOptions()
+	tr, err := pdedesim.BuildTrace(app, opts.TotalInstrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := pdedesim.SimulateTrace(app, tr, pdedesim.Baseline(4096), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdede, err := pdedesim.SimulateTrace(app, tr, pdedesim.PDedeMultiEntry(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %s (%s)\n\n", app.Name, app.Category)
+	fmt.Printf("%-22s IPC %.3f   BTB MPKI %6.2f   frontend stalls %.1f%%\n",
+		"baseline 4K (37.5KB):", baseline.IPC(), baseline.BTBMPKI(), 100*baseline.FrontendStallFrac())
+	fmt.Printf("%-22s IPC %.3f   BTB MPKI %6.2f   frontend stalls %.1f%%\n\n",
+		"PDede-Multi Entry:", pdede.IPC(), pdede.BTBMPKI(), 100*pdede.FrontendStallFrac())
+	fmt.Printf("IPC speedup:    %+.1f%%\n", 100*pdede.Speedup(baseline))
+	fmt.Printf("MPKI reduction: %.1f%%\n", 100*pdede.MPKIReduction(baseline))
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func mkTrace(recs ...isa.Branch) *trace.Memory {
+	return &trace.Memory{TraceName: "t", Records: recs}
+}
+
+func TestCharacterizeCounts(t *testing.T) {
+	pcA := addr.Build(1, 2, 0x100)
+	pcB := addr.Build(1, 2, 0x200)
+	tr := mkTrace(
+		isa.Branch{PC: pcA, Target: addr.Build(1, 2, 0x40), BlockLen: 5, Kind: isa.CondDirect, Taken: true},
+		isa.Branch{PC: pcA, Target: addr.Build(1, 2, 0x40), BlockLen: 5, Kind: isa.CondDirect, Taken: false},
+		isa.Branch{PC: pcB, Target: addr.Build(3, 9, 0x40), BlockLen: 3, Kind: isa.DirectCall, Taken: true},
+		isa.Branch{PC: addr.Build(3, 9, 0x80), Target: pcB.Add(4), BlockLen: 2, Kind: isa.Return, Taken: true},
+	)
+	c, err := Characterize(tr.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instructions != 15 {
+		t.Errorf("Instructions = %d, want 15", c.Instructions)
+	}
+	if c.DynBranches != 4 || c.DynTaken != 3 {
+		t.Errorf("DynBranches=%d DynTaken=%d", c.DynBranches, c.DynTaken)
+	}
+	if c.StaticPCs != 3 || c.StaticTakenPCs != 3 {
+		t.Errorf("StaticPCs=%d StaticTakenPCs=%d", c.StaticPCs, c.StaticTakenPCs)
+	}
+	// Return target excluded from target sets: two unique non-return targets.
+	if c.UniqueTargets != 2 {
+		t.Errorf("UniqueTargets = %d, want 2", c.UniqueTargets)
+	}
+	if c.UniqueRegions != 2 || c.UniquePages != 2 {
+		t.Errorf("regions=%d pages=%d, want 2/2", c.UniqueRegions, c.UniquePages)
+	}
+	// Both targets have offset 0x40.
+	if c.UniqueOffsets != 1 {
+		t.Errorf("UniqueOffsets = %d, want 1", c.UniqueOffsets)
+	}
+	if c.DynSamePage != 1 || c.DynCrossPage != 1 {
+		t.Errorf("same/cross = %d/%d, want 1/1", c.DynSamePage, c.DynCrossPage)
+	}
+	if got := c.DynTakenRate(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("DynTakenRate = %v", got)
+	}
+	if got := c.ClassShare(isa.ClassUncondDirect); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("uncond share = %v", got)
+	}
+}
+
+func TestBucketDistance(t *testing.T) {
+	cases := []struct {
+		d    uint64
+		want DistanceBucket
+	}{
+		{0, SamePage}, {1, Near}, {15, Near}, {16, Mid}, {4095, Mid},
+		{4096, Far}, {65535, Far}, {65536, VeryFar}, {1 << 30, VeryFar},
+	}
+	for _, c := range cases {
+		if got := BucketDistance(c.d); got != c.want {
+			t.Errorf("BucketDistance(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	for b := DistanceBucket(0); b < NumDistanceBuckets; b++ {
+		if b.String() == "" {
+			t.Errorf("bucket %d unnamed", b)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	c, err := Characterize(mkTrace().Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DynTakenRate() != 0 || c.TargetsPerPage() != 0 || c.DynSamePageRate() != 0 {
+		t.Error("empty-trace ratios should be zero")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	tr := mkTrace(
+		isa.Branch{PC: addr.Build(1, 2, 0), Target: addr.Build(7, 5, 0x10), BlockLen: 2, Kind: isa.UncondDirect, Taken: true},
+		isa.Branch{PC: addr.Build(1, 2, 8), Target: addr.Build(7, 5, 0x20), BlockLen: 2, Kind: isa.CondDirect, Taken: false},
+		isa.Branch{PC: addr.Build(1, 2, 16), Target: addr.Build(9, 1, 0x30), BlockLen: 2, Kind: isa.UncondDirect, Taken: true},
+		isa.Branch{PC: addr.Build(9, 1, 64), Target: addr.Build(7, 5, 0x40), BlockLen: 2, Kind: isa.UncondDirect, Taken: true},
+	)
+	s, err := TimeSeries(tr.Open(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("samples = %d, want 3 (not-taken excluded)", len(s))
+	}
+	if s[0].Region != 0 || s[1].Region != 1 || s[2].Region != 0 {
+		t.Errorf("region ranks = %d,%d,%d want 0,1,0", s[0].Region, s[1].Region, s[2].Region)
+	}
+	if s[0].Page != 0 || s[1].Page != 1 || s[2].Page != 0 {
+		t.Errorf("page ranks wrong: %+v", s)
+	}
+	if s[2].Offset != 0x40 {
+		t.Errorf("offset = %#x", s[2].Offset)
+	}
+	// Stride sampling.
+	s2, _ := TimeSeries(tr.Open(), 2)
+	if len(s2) != 1 {
+		t.Errorf("stride-2 samples = %d, want 1", len(s2))
+	}
+}
+
+// TestSuiteCalibration verifies that the synthetic suite reproduces the
+// paper's §3 population statistics in shape. It samples a subset of the
+// catalog for speed; the full-suite numbers are produced by the fig3..fig8
+// experiments.
+func TestSuiteCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs trace generation")
+	}
+	apps := workload.Catalog()
+	sample := []workload.Config{apps[0], apps[13], apps[31], apps[47], apps[66], apps[77], apps[88], apps[97]}
+
+	var takenDyn, samePage, tgtShare, pageShare, regShare, tpp, tpr float64
+	var indShare float64
+	for _, cfg := range sample {
+		_, tr, err := workload.Build(cfg, 1_500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Characterize(tr.Open())
+		if err != nil {
+			t.Fatal(err)
+		}
+		takenDyn += c.DynTakenRate()
+		samePage += c.DynSamePageRate()
+		tg, rg, pg, _ := c.UniqueShare()
+		tgtShare += tg
+		regShare += rg
+		pageShare += pg
+		tpp += c.TargetsPerPage()
+		tpr += c.TargetsPerRegion()
+		nonRet := c.DynTaken - c.DynTakenByClass[isa.ClassReturn]
+		if nonRet > 0 {
+			indShare += float64(c.DynTakenByClass[isa.ClassIndirect]) / float64(nonRet)
+		}
+	}
+	n := float64(len(sample))
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		// Paper: branches taken >50% of the time (Fig 3).
+		{"dynamic taken rate", takenDyn / n, 0.55, 0.92},
+		// Paper: >60% of branches have target in the same page (Fig 8).
+		{"same-page rate", samePage / n, 0.60, 0.92},
+		// Paper: unique targets = 67% of unique PCs (Fig 7).
+		{"unique target share", tgtShare / n, 0.45, 0.85},
+		// Paper: unique pages ≈ 5% (Fig 7).
+		{"unique page share", pageShare / n, 0.015, 0.10},
+		// Paper: unique regions ≈ 0.07% (Fig 7).
+		{"unique region share", regShare / n, 0.0001, 0.004},
+		// Paper: ~18 targets per page (Fig 6).
+		{"targets per page", tpp / n, 10, 40},
+		// Paper: ~2200 targets per region (Fig 6).
+		{"targets per region", tpr / n, 700, 4000},
+		// Paper: all branch types occur; indirect ≈ 10% (Fig 4).
+		{"indirect share", indShare / n, 0.03, 0.20},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %.4f outside calibration band [%.4f, %.4f]", c.name, c.got, c.lo, c.hi)
+		} else {
+			t.Logf("%s = %.4f (band [%.4f, %.4f])", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}

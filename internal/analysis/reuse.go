@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// Reuse profiles the temporal reuse of taken-branch PCs as LRU stack
+// distances: the number of *distinct* taken-branch PCs observed between two
+// successive executions of the same PC. The miss rate of a fully
+// associative LRU BTB of capacity C is exactly the fraction of accesses
+// with stack distance ≥ C, so the profile predicts how any BTB size will
+// fare on a trace before simulating it — the quantitative backbone of the
+// paper's capacity argument.
+type Reuse struct {
+	// Accesses is the number of taken-branch executions profiled.
+	Accesses uint64
+	// Cold is the subset that were first-ever accesses (infinite distance).
+	Cold uint64
+	// distances holds the finite stack distances, sorted ascending after
+	// finalize.
+	distances []int32
+}
+
+// ReuseProfile computes the profile over a trace. Memory is O(distinct
+// PCs); time is O(accesses · log distinct) via a Fenwick tree over access
+// timestamps.
+func ReuseProfile(r trace.Reader) (*Reuse, error) {
+	out := &Reuse{}
+	last := make(map[addr.VA]int32) // pc → most recent access time
+	bit := make([]int32, 1, 1<<16)  // Fenwick tree over times, 1-based
+	timeOf := func(i int32) int32 { return i + 1 }
+
+	add := func(pos int32, delta int32) {
+		for i := pos; int(i) < len(bit); i += i & (-i) {
+			bit[i] += delta
+		}
+	}
+	sum := func(pos int32) int32 {
+		var s int32
+		for i := pos; i > 0; i -= i & (-i) {
+			s += bit[i]
+		}
+		return s
+	}
+
+	var now int32
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !b.Taken || b.Kind.IsReturn() {
+			continue
+		}
+		out.Accesses++
+		// Grow the tree to cover the new timestamp. An appended node at
+		// position p must be initialized with the sum of the range it
+		// covers, (p − lowbit(p), p−1], since updates to those positions
+		// may predate the node (standard online Fenwick extension).
+		for len(bit) <= int(timeOf(now)) {
+			p := int32(len(bit))
+			bit = append(bit, sum(p-1)-sum(p-(p&-p)))
+		}
+		if prev, seen := last[b.PC]; seen {
+			// Distinct PCs since prev = live markers in (prev, now).
+			dist := sum(timeOf(now)-1) - sum(timeOf(prev))
+			out.distances = append(out.distances, dist)
+			add(timeOf(prev), -1) // the old marker moves forward
+		} else {
+			out.Cold++
+		}
+		add(timeOf(now), 1)
+		last[b.PC] = now
+		now++
+	}
+	sort.Slice(out.distances, func(i, j int) bool { return out.distances[i] < out.distances[j] })
+	return out, nil
+}
+
+// MissRateAt returns the predicted miss rate of a fully-associative LRU
+// structure with the given capacity: (cold + distances ≥ capacity) /
+// accesses.
+func (u *Reuse) MissRateAt(capacity int) float64 {
+	if u.Accesses == 0 {
+		return 0
+	}
+	// First index with distance ≥ capacity.
+	idx := sort.Search(len(u.distances), func(i int) bool {
+		return u.distances[i] >= int32(capacity)
+	})
+	misses := uint64(len(u.distances)-idx) + u.Cold
+	return float64(misses) / float64(u.Accesses)
+}
+
+// WorkingSet returns the number of distinct PCs profiled.
+func (u *Reuse) WorkingSet() int {
+	return int(u.Cold)
+}
+
+// Percentile returns the p-th percentile stack distance (finite reuses
+// only); 0 for an empty profile.
+func (u *Reuse) Percentile(p float64) int {
+	if len(u.distances) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(u.distances)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(u.distances) {
+		i = len(u.distances) - 1
+	}
+	return int(u.distances[i])
+}

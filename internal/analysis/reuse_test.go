@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func takenAt(pc addr.VA) isa.Branch {
+	return isa.Branch{PC: pc, Target: pc.Add(64), BlockLen: 4, Kind: isa.UncondDirect, Taken: true}
+}
+
+func profile(t *testing.T, recs []isa.Branch) *Reuse {
+	t.Helper()
+	u, err := ReuseProfile((&trace.Memory{TraceName: "t", Records: recs}).Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestReuseSimpleSequence(t *testing.T) {
+	a, b, c := addr.Build(1, 1, 0), addr.Build(1, 2, 0), addr.Build(1, 3, 0)
+	// A B C A: A's reuse sees {B, C} → distance 2.
+	u := profile(t, []isa.Branch{takenAt(a), takenAt(b), takenAt(c), takenAt(a)})
+	if u.Accesses != 4 || u.Cold != 3 {
+		t.Fatalf("accesses=%d cold=%d", u.Accesses, u.Cold)
+	}
+	if len(u.distances) != 1 || u.distances[0] != 2 {
+		t.Fatalf("distances = %v, want [2]", u.distances)
+	}
+}
+
+func TestReuseImmediateRepeat(t *testing.T) {
+	a := addr.Build(1, 1, 0)
+	u := profile(t, []isa.Branch{takenAt(a), takenAt(a), takenAt(a)})
+	if len(u.distances) != 2 || u.distances[0] != 0 || u.distances[1] != 0 {
+		t.Fatalf("distances = %v, want [0 0]", u.distances)
+	}
+}
+
+// Property: distances computed by the Fenwick profile match a naive O(n²)
+// reference on random streams.
+func TestReuseMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		count := int(n)%120 + 8
+		pcs := make([]addr.VA, 12)
+		for i := range pcs {
+			pcs[i] = addr.Build(1, uint64(i), 0)
+		}
+		var recs []isa.Branch
+		var stream []addr.VA
+		for i := 0; i < count; i++ {
+			pc := pcs[r.Intn(len(pcs))]
+			stream = append(stream, pc)
+			recs = append(recs, takenAt(pc))
+		}
+		u := profile(t, recs)
+		// Naive reference.
+		var want []int32
+		lastIdx := map[addr.VA]int{}
+		for i, pc := range stream {
+			if j, ok := lastIdx[pc]; ok {
+				distinct := map[addr.VA]bool{}
+				for k := j + 1; k < i; k++ {
+					distinct[stream[k]] = true
+				}
+				want = append(want, int32(len(distinct)))
+			}
+			lastIdx[pc] = i
+		}
+		if len(want) != len(u.distances) {
+			return false
+		}
+		// Compare as multisets (profile sorts).
+		counts := map[int32]int{}
+		for _, d := range want {
+			counts[d]++
+		}
+		for _, d := range u.distances {
+			counts[d]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRateMonotonic(t *testing.T) {
+	cfg := workload.Default()
+	cfg.StaticBranches = 8000
+	_, tr, err := workload.Build(cfg, 600_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ReuseProfile(tr.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.1
+	for _, c := range []int{256, 1024, 4096, 16384, 1 << 20} {
+		mr := u.MissRateAt(c)
+		if mr > prev {
+			t.Fatalf("miss rate rose with capacity at %d: %v > %v", c, mr, prev)
+		}
+		prev = mr
+	}
+	// Infinite capacity leaves only cold misses.
+	if got, want := u.MissRateAt(1<<30), float64(u.Cold)/float64(u.Accesses); got != want {
+		t.Errorf("infinite-capacity miss rate %v, want cold share %v", got, want)
+	}
+	if u.WorkingSet() < 3000 {
+		t.Errorf("working set %d suspiciously small", u.WorkingSet())
+	}
+}
+
+func TestReusePredictsBTBPressure(t *testing.T) {
+	// The capacity argument in one number: a frontend-bound app's miss rate
+	// at 4K must exceed its miss rate at 16K by a wide margin.
+	cfg := workload.Default()
+	cfg.StaticBranches = 20000
+	_, tr, err := workload.Build(cfg, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := ReuseProfile(tr.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at4k, at16k := u.MissRateAt(4096), u.MissRateAt(16384)
+	if at4k < at16k+0.02 {
+		t.Errorf("no capacity pressure: miss@4K=%v miss@16K=%v", at4k, at16k)
+	}
+}
+
+func TestReusePercentile(t *testing.T) {
+	a, b := addr.Build(1, 1, 0), addr.Build(1, 2, 0)
+	u := profile(t, []isa.Branch{takenAt(a), takenAt(b), takenAt(a), takenAt(b)})
+	if p := u.Percentile(50); p != 1 {
+		t.Errorf("P50 = %d, want 1", p)
+	}
+	empty := profile(t, nil)
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}

@@ -1,0 +1,215 @@
+package btb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// Baseline is the conventional BTB described in §2: set-associative, probed
+// with a hashed PC, carrying a restricted 12-bit tag, a full 57-bit target,
+// a 2-bit confidence counter and SRRIP replacement. Only taken branches
+// allocate entries (not-taken fallthroughs are computed trivially).
+type Baseline struct {
+	name string
+	sets int
+	ways int
+
+	indexBits uint
+	entries   []baseEntry // sets × ways
+	repl      []replacer
+
+	// GHRP state (only when Policy == PolicyGHRP): per-set predictive
+	// replacement plus the shared signature tables, and a per-entry
+	// reused-since-insertion bit used to train deadness.
+	ghrp       []*ghrpRepl
+	ghrpShared *ghrpTables
+	reused     []bool
+
+	// storeReturns mirrors §5.7: if set, returns also allocate (no RAS).
+	storeReturns bool
+}
+
+type baseEntry struct {
+	valid  bool
+	tag    uint64
+	target addr.VA
+	conf   conf
+}
+
+// BaselineConfig sizes a baseline BTB.
+type BaselineConfig struct {
+	// Entries is the total entry count (must be sets*ways with sets a power
+	// of two). The paper's baseline is 4096 entries, 8-way: 37.5 KiB.
+	Entries int
+	// Ways is the associativity (default 8).
+	Ways int
+	// StoreReturns also allocates return instructions (§5.7).
+	StoreReturns bool
+	// Policy selects the replacement policy (default SRRIP, as in the
+	// paper; LRU and random support the replacement ablation).
+	Policy PolicyKind
+}
+
+// NewBaseline builds the baseline BTB.
+func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
+	if cfg.Ways == 0 {
+		cfg.Ways = 8
+	}
+	if cfg.Entries <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("btb: entries %d not divisible by ways %d", cfg.Entries, cfg.Ways)
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("btb: baseline sets %d not a power of two", sets)
+	}
+	b := &Baseline{
+		name:         fmt.Sprintf("baseline-%dK", cfg.Entries/1024),
+		sets:         sets,
+		ways:         cfg.Ways,
+		indexBits:    uint(bits.TrailingZeros(uint(sets))),
+		entries:      make([]baseEntry, cfg.Entries),
+		repl:         make([]replacer, sets),
+		storeReturns: cfg.StoreReturns,
+	}
+	if cfg.Entries < 1024 {
+		b.name = fmt.Sprintf("baseline-%d", cfg.Entries)
+	}
+	if cfg.Policy != PolicySRRIP {
+		b.name += "-" + cfg.Policy.String()
+	}
+	if cfg.Policy == PolicyGHRP {
+		b.ghrpShared = newGHRPTables()
+		b.ghrp = make([]*ghrpRepl, sets)
+		b.reused = make([]bool, cfg.Entries)
+		for i := range b.ghrp {
+			b.ghrp[i] = newGHRPRepl(cfg.Ways, b.ghrpShared)
+		}
+	} else {
+		for i := range b.repl {
+			b.repl[i] = newReplacer(cfg.Policy, cfg.Ways, baselineRRIPBits)
+		}
+	}
+	return b, nil
+}
+
+// Name implements TargetPredictor.
+func (b *Baseline) Name() string { return b.name }
+
+// Lookup implements TargetPredictor.
+func (b *Baseline) Lookup(pc addr.VA) Lookup {
+	set, tag := addr.IndexTag(pc, b.indexBits, TagBits)
+	base := int(set) * b.ways
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.tag == tag {
+			return Lookup{Hit: true, Target: e.target}
+		}
+	}
+	return Lookup{}
+}
+
+// Update implements TargetPredictor. Taken branches allocate or retrain
+// their entry; the confidence counter arbitrates target replacement for
+// branches with multiple observed targets (indirects).
+func (b *Baseline) Update(br isa.Branch, prior Lookup) {
+	if !br.Taken {
+		return
+	}
+	if br.Kind.IsReturn() && !b.storeReturns {
+		return
+	}
+	set, tag := addr.IndexTag(br.PC, b.indexBits, TagBits)
+	base := int(set) * b.ways
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if b.ghrp != nil {
+			b.ghrp[set].touchPC(w, br.PC)
+			b.reused[base+w] = true
+		} else {
+			b.repl[set].Touch(w)
+		}
+		if e.target == br.Target {
+			e.conf = e.conf.inc()
+			return
+		}
+		// Wrong target stored: decay confidence; replace the target only
+		// once confidence is exhausted (protects dominant indirect targets).
+		if e.conf > 0 {
+			e.conf = e.conf.dec()
+			return
+		}
+		e.target = br.Target
+		e.conf = 0
+		return
+	}
+	// Allocate.
+	w := b.victim(set)
+	b.entries[base+w] = baseEntry{valid: true, tag: tag, target: br.Target}
+	if b.ghrp != nil {
+		b.ghrp[set].insertPC(w, br.PC, b.reused[base+w])
+		b.reused[base+w] = false
+	} else {
+		b.repl[set].Insert(w)
+	}
+}
+
+func (b *Baseline) victim(set uint64) int {
+	base := int(set) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if !b.entries[base+w].valid {
+			return w
+		}
+	}
+	if b.ghrp != nil {
+		return b.ghrp[set].victim()
+	}
+	return b.repl[set].Victim()
+}
+
+// EntryBits returns the storage per baseline entry (Figure 2 layout; the
+// replacement metadata cost follows the configured policy).
+func (b *Baseline) EntryBits() uint64 {
+	if b.ghrp != nil {
+		return pidBits + TagBits + targetBits + confBits + b.ghrp[0].bits() + 1 // +reused
+	}
+	return pidBits + TagBits + targetBits + b.repl[0].Bits() + confBits
+}
+
+// StorageBits implements TargetPredictor.
+func (b *Baseline) StorageBits() uint64 {
+	bits := uint64(b.sets*b.ways) * b.EntryBits()
+	if b.ghrpShared != nil {
+		bits += uint64(len(b.ghrpShared.t1)+len(b.ghrpShared.t2)) * 2
+	}
+	return bits
+}
+
+// Entries returns the total capacity in entries.
+func (b *Baseline) Entries() int { return b.sets * b.ways }
+
+// Reset implements TargetPredictor.
+func (b *Baseline) Reset() {
+	for i := range b.entries {
+		b.entries[i] = baseEntry{}
+	}
+	for _, r := range b.repl {
+		if r != nil { // nil when GHRP manages replacement
+			r.Reset()
+		}
+	}
+	if b.ghrp != nil {
+		for _, g := range b.ghrp {
+			g.reset()
+		}
+		*b.ghrpShared = *newGHRPTables()
+		for i := range b.reused {
+			b.reused[i] = false
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package btb defines the branch-target-predictor interface shared by every
+// BTB organisation in this repository and implements the paper's baseline: a
+// set-associative, SRRIP-managed, restricted-tag BTB (§2), plus the
+// full-target deduplicated design used as the first step of the Figure 11a
+// ablation.
+package btb
+
+import (
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// Lookup is the outcome of probing a target predictor with a branch PC.
+type Lookup struct {
+	// Hit reports whether the structure produced a target prediction.
+	Hit bool
+	// Target is the predicted target (valid only when Hit).
+	Target addr.VA
+	// ExtraLatency is the number of cycles beyond the single-cycle base
+	// lookup that producing this prediction required (e.g. PDede's
+	// sequential BTBM→Page-BTB access costs one extra cycle).
+	ExtraLatency int
+}
+
+// TargetPredictor is a BTB-like structure: probed with a branch PC at
+// prediction time and trained with the resolved branch at update time.
+//
+// Implementations are sequential state machines: the core calls Lookup and
+// Update in program order, once per dynamic branch. Lookup must not mutate
+// replacement state in a way that assumes the prediction was used (the call
+// itself models the BPU read).
+type TargetPredictor interface {
+	// Name identifies the design in reports.
+	Name() string
+	// Lookup probes the structure for branch pc.
+	Lookup(pc addr.VA) Lookup
+	// Update trains the structure with a resolved branch. prior is the
+	// Lookup the predictor returned for this branch, letting designs update
+	// confidence and replacement against what they actually predicted.
+	Update(b isa.Branch, prior Lookup)
+	// StorageBits returns the total storage the design consumes.
+	StorageBits() uint64
+	// Reset clears all prediction state.
+	Reset()
+}
+
+// TagBits is the restricted tag width used by all designs (§2: 12-bit tags
+// with a good hash keep aliasing-induced resteers rare without paying for
+// full tags).
+const TagBits = 12
+
+// Baseline entry metadata widths (Figure 2): PID(1) + SRRIP(3) + conf(2).
+const (
+	pidBits          = 1
+	baselineRRIPBits = 3
+	confBits         = 2
+	targetBits       = 57
+	offsetBits       = 12
+)
+
+// conf is a saturating 2-bit confidence counter.
+type conf uint8
+
+func (c conf) inc() conf {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func (c conf) dec() conf {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}

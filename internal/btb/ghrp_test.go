@@ -1,0 +1,92 @@
+package btb
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/rng"
+)
+
+func TestGHRPConstructsAndRetains(t *testing.T) {
+	b, err := NewBaseline(BaselineConfig{Entries: 256, Ways: 4, Policy: PolicyGHRP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "baseline-256-ghrp" {
+		t.Errorf("name = %q", b.Name())
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			pc := addr.Build(1, uint64(i), 64)
+			b.Update(takenBranch(pc, addr.Build(2, uint64(i), 0)), Lookup{})
+		}
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if b.Lookup(addr.Build(1, uint64(i), 64)).Hit {
+			hits++
+		}
+	}
+	if hits < 60 {
+		t.Errorf("GHRP retained only %d/100 fitting entries", hits)
+	}
+}
+
+func TestGHRPStorageAccounted(t *testing.T) {
+	g, _ := NewBaseline(BaselineConfig{Entries: 4096, Policy: PolicyGHRP})
+	s, _ := NewBaseline(BaselineConfig{Entries: 4096, Policy: PolicySRRIP})
+	if g.StorageBits() <= s.StorageBits() {
+		t.Errorf("GHRP metadata unaccounted: %d vs %d", g.StorageBits(), s.StorageBits())
+	}
+	// Signatures (16b) + shared tables dominate the overhead.
+	overhead := g.StorageBits() - s.StorageBits()
+	if overhead < 4096*14 {
+		t.Errorf("overhead %d bits suspiciously small", overhead)
+	}
+}
+
+// GHRP must learn to victimize never-reused (scan) entries before hot ones.
+func TestGHRPScanResistance(t *testing.T) {
+	run := func(pol PolicyKind) int {
+		b, _ := NewBaseline(BaselineConfig{Entries: 8, Ways: 8, Policy: pol})
+		hot := make([]addr.VA, 4)
+		for i := range hot {
+			hot[i] = addr.Build(1, uint64(i), 0)
+		}
+		r := rng.New(5)
+		// Interleave hot reuse with one-shot scan branches so the tables see
+		// both fates repeatedly.
+		for step := 0; step < 4000; step++ {
+			for _, pc := range hot {
+				b.Update(takenBranch(pc, addr.Build(2, 0, 0)), Lookup{})
+			}
+			scan := addr.Build(3, uint64(r.Intn(1<<16)), 0)
+			b.Update(takenBranch(scan, addr.Build(2, 0, 0)), Lookup{})
+		}
+		hits := 0
+		for _, pc := range hot {
+			if b.Lookup(pc).Hit {
+				hits++
+			}
+		}
+		return hits
+	}
+	ghrp := run(PolicyGHRP)
+	if ghrp < 3 {
+		t.Errorf("GHRP kept only %d/4 hot entries under scan", ghrp)
+	}
+	// And it must not be worse than random replacement at this.
+	if rnd := run(PolicyRandom); ghrp < rnd {
+		t.Errorf("GHRP (%d) below random (%d) under scan", ghrp, rnd)
+	}
+}
+
+func TestGHRPReset(t *testing.T) {
+	b, _ := NewBaseline(BaselineConfig{Entries: 64, Ways: 4, Policy: PolicyGHRP})
+	pc := addr.Build(1, 2, 0x40)
+	b.Update(takenBranch(pc, addr.Build(2, 0, 0)), Lookup{})
+	b.Reset()
+	if b.Lookup(pc).Hit {
+		t.Error("hit after reset")
+	}
+}

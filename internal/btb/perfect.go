@@ -1,0 +1,65 @@
+package btb
+
+import (
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// Perfect is an idealized, unbounded BTB used as a simulation upper bound
+// and in tests: an infinite-capacity baseline with the same
+// confidence-guarded target replacement, so the only remaining misses are
+// compulsory (first encounter) and genuine target changes on indirect
+// branches. First encounters still miss — a cold BTB cannot know targets —
+// which matches the paper's miss definition.
+type Perfect struct {
+	targets map[addr.VA]*perfectEntry
+}
+
+type perfectEntry struct {
+	target addr.VA
+	conf   conf
+}
+
+// NewPerfect builds an empty perfect BTB.
+func NewPerfect() *Perfect {
+	return &Perfect{targets: make(map[addr.VA]*perfectEntry)}
+}
+
+// Name implements TargetPredictor.
+func (p *Perfect) Name() string { return "perfect" }
+
+// Lookup implements TargetPredictor.
+func (p *Perfect) Lookup(pc addr.VA) Lookup {
+	e, ok := p.targets[pc]
+	if !ok {
+		return Lookup{}
+	}
+	return Lookup{Hit: true, Target: e.target}
+}
+
+// Update implements TargetPredictor.
+func (p *Perfect) Update(b isa.Branch, prior Lookup) {
+	if !b.Taken || b.Kind.IsReturn() {
+		return
+	}
+	e, ok := p.targets[b.PC]
+	if !ok {
+		p.targets[b.PC] = &perfectEntry{target: b.Target}
+		return
+	}
+	if e.target == b.Target {
+		e.conf = e.conf.inc()
+		return
+	}
+	if e.conf > 0 {
+		e.conf = e.conf.dec()
+		return
+	}
+	e.target = b.Target
+}
+
+// StorageBits implements TargetPredictor (idealized hardware: unreported).
+func (p *Perfect) StorageBits() uint64 { return 0 }
+
+// Reset implements TargetPredictor.
+func (p *Perfect) Reset() { p.targets = make(map[addr.VA]*perfectEntry) }

@@ -1,0 +1,102 @@
+package btb
+
+import "testing"
+
+func TestRefcountVictimPrefersDead(t *testing.T) {
+	tt, _ := NewDedupTable(4, 4)
+	tt.EnableRefcounts()
+	// Fill with four values; acquire three of them.
+	ptrs := make([]int, 4)
+	for i := uint64(0); i < 4; i++ {
+		p, _ := tt.FindOrInsert(100 + i)
+		ptrs[i] = p
+		if i != 2 {
+			tt.Acquire(p)
+		}
+	}
+	// A fifth value must displace the unreferenced one (value 102).
+	p5, evicted := tt.FindOrInsert(999)
+	if evicted {
+		t.Error("dead-slot reuse reported as eviction")
+	}
+	if p5 != ptrs[2] {
+		t.Errorf("victim = slot %d, want the dead slot %d", p5, ptrs[2])
+	}
+	for i, p := range ptrs {
+		if i == 2 {
+			continue
+		}
+		if v, ok := tt.Get(p); !ok || v != 100+uint64(i) {
+			t.Errorf("live value %d displaced", i)
+		}
+	}
+}
+
+func TestRefcountAllLiveFallsBackToEviction(t *testing.T) {
+	tt, _ := NewDedupTable(4, 4)
+	tt.EnableRefcounts()
+	for i := uint64(0); i < 4; i++ {
+		p, _ := tt.FindOrInsert(i)
+		tt.Acquire(p)
+	}
+	if _, evicted := tt.FindOrInsert(42); !evicted {
+		t.Error("all-live table did not report an eviction")
+	}
+}
+
+func TestRefcountReleaseMakesSlotDead(t *testing.T) {
+	tt, _ := NewDedupTable(4, 4)
+	tt.EnableRefcounts()
+	p, _ := tt.FindOrInsert(7)
+	tt.Acquire(p)
+	tt.Release(p)
+	// Fill the rest and acquire them.
+	for i := uint64(100); i < 103; i++ {
+		q, _ := tt.FindOrInsert(i)
+		tt.Acquire(q)
+	}
+	if got, _ := tt.FindOrInsert(999); got != p {
+		t.Errorf("released slot %d not chosen as victim (got %d)", p, got)
+	}
+}
+
+func TestRefcountSaturationSticks(t *testing.T) {
+	tt, _ := NewDedupTable(4, 4)
+	tt.EnableRefcounts()
+	p, _ := tt.FindOrInsert(7)
+	for i := 0; i < 10; i++ {
+		tt.Acquire(p)
+	}
+	// Saturated at 7: releases no longer reach zero (conservatively live).
+	for i := 0; i < 10; i++ {
+		tt.Release(p)
+	}
+	for i := uint64(100); i < 103; i++ {
+		q, _ := tt.FindOrInsert(i)
+		tt.Acquire(q)
+	}
+	got, evicted := tt.FindOrInsert(999)
+	if got == p && !evicted {
+		t.Error("saturated slot treated as dead")
+	}
+}
+
+func TestRefcountStorageCost(t *testing.T) {
+	plain, _ := NewDedupTable(64, 4)
+	counted, _ := NewDedupTable(64, 4)
+	counted.EnableRefcounts()
+	if counted.StorageBits(57) != plain.StorageBits(57)+64*3 {
+		t.Errorf("refcount storage accounting wrong: %d vs %d",
+			counted.StorageBits(57), plain.StorageBits(57))
+	}
+}
+
+func TestRefcountNoopsWhenDisabled(t *testing.T) {
+	tt, _ := NewDedupTable(4, 4)
+	// Without EnableRefcounts these must be safe no-ops.
+	p, _ := tt.FindOrInsert(7)
+	tt.Acquire(p)
+	tt.Release(p)
+	tt.Acquire(-1)
+	tt.Release(1 << 20)
+}

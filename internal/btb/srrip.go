@@ -1,0 +1,66 @@
+package btb
+
+// SRRIP implements Static Re-Reference Interval Prediction replacement
+// (Jaleel et al., ISCA'10) over the ways of one set. Each way carries an
+// RRPV (re-reference prediction value); hits promote to 0, insertions start
+// at max-1 ("long re-reference"), and victims are ways holding max,
+// aging every way until one appears.
+type SRRIP struct {
+	rrpv []uint8
+	max  uint8
+	all  []int
+}
+
+// NewSRRIP builds replacement state for `ways` ways with `bits`-bit RRPVs
+// (the paper uses 2-bit for PDede structures, 3-bit for the baseline BTB).
+func NewSRRIP(ways int, bits uint) *SRRIP {
+	if ways <= 0 {
+		panic("btb: SRRIP needs at least one way")
+	}
+	if bits == 0 || bits > 8 {
+		panic("btb: SRRIP RRPV bits out of range")
+	}
+	s := &SRRIP{rrpv: make([]uint8, ways), max: uint8(1<<bits) - 1, all: make([]int, ways)}
+	for i := range s.rrpv {
+		s.rrpv[i] = s.max // empty ways are immediate victims
+		s.all[i] = i
+	}
+	return s
+}
+
+// Touch marks a hit on way w (near-immediate re-reference predicted).
+func (s *SRRIP) Touch(w int) { s.rrpv[w] = 0 }
+
+// Insert marks way w as freshly allocated with a long re-reference interval.
+func (s *SRRIP) Insert(w int) { s.rrpv[w] = s.max - 1 }
+
+// Victim selects the way to replace among the candidate ways (nil means all
+// ways), aging RRPVs as needed. It always terminates: aging eventually
+// drives some candidate to max.
+func (s *SRRIP) Victim(candidates []int) int {
+	if candidates == nil {
+		candidates = s.all
+	}
+	if len(candidates) == 0 {
+		panic("btb: SRRIP victim with no candidates")
+	}
+	for {
+		for _, w := range candidates {
+			if s.rrpv[w] >= s.max {
+				return w
+			}
+		}
+		for _, w := range candidates {
+			s.rrpv[w]++
+		}
+	}
+}
+
+// Bits returns the replacement metadata bits per way.
+func (s *SRRIP) Bits() uint64 {
+	b := uint64(0)
+	for v := s.max; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/predictor"
+)
+
+// bpu bundles the branch-prediction unit state shared by both core models
+// (the analytic runahead model in sim.go and the event-timestamped pipeline
+// in pipeline.go): direction predictor, BTB, RAS and optional ITTAGE.
+//
+// Predictions and updates happen in trace order at prediction time. Real
+// hardware trains the BTB speculatively as soon as targets resolve (§2:
+// "BTB updates happen speculatively once the target address is known");
+// collapsing predict/update into one step models that with instant repair.
+type bpu struct {
+	cfg *Config
+	dir predictor.Direction
+	ras *predictor.RAS
+}
+
+// prediction is the outcome of one branch's pass through the BPU.
+type prediction struct {
+	look    btb.Lookup
+	usesBTB bool
+	dirPred bool
+
+	// penalty/kind classify the resteer (0 = none; 1 = BTB, 2 = direction,
+	// 3 = return), mirroring the §5.1 accounting.
+	penalty int
+	kind    int
+}
+
+// predict runs the full per-branch BPU flow: probe the right structure,
+// predict the direction, classify the resteer, then train everything.
+func (u *bpu) predict(b isa.Branch) prediction {
+	p := &u.cfg.Params
+	out := prediction{usesBTB: true, dirPred: true}
+
+	switch {
+	case b.Kind.IsReturn() && !u.cfg.StoreReturnsInBTB:
+		out.usesBTB = false
+		if t, ok := u.ras.Pop(); ok {
+			out.look = btb.Lookup{Hit: true, Target: t}
+		}
+	case b.Kind.IsIndirect() && u.cfg.ITTAGE != nil:
+		out.usesBTB = false
+		if t, ok := u.cfg.ITTAGE.Predict(b.PC); ok {
+			out.look = btb.Lookup{Hit: true, Target: t}
+		}
+	default:
+		out.look = u.cfg.BTB.Lookup(b.PC)
+	}
+
+	if b.Kind.IsConditional() {
+		out.dirPred = u.dir.Predict(b.PC)
+		if u.cfg.PerfectDirection {
+			out.dirPred = b.Taken
+		}
+		u.dir.Update(b.PC, b.Taken)
+	}
+
+	targetCorrect := out.look.Hit && out.look.Target == b.Target
+	switch {
+	case b.Kind.IsConditional() && out.dirPred != b.Taken:
+		out.penalty, out.kind = p.ExecResteer, 2
+	case b.Taken && !targetCorrect:
+		switch {
+		case b.Kind.IsReturn():
+			out.penalty, out.kind = p.ExecResteer, 3
+		case b.Kind.IsIndirect():
+			out.penalty, out.kind = p.ExecResteer, 1
+		default:
+			out.penalty, out.kind = p.DecodeResteer, 1
+		}
+	}
+
+	// Training.
+	if out.usesBTB && (!b.Kind.IsReturn() || u.cfg.StoreReturnsInBTB) {
+		u.cfg.BTB.Update(b, out.look)
+	}
+	if b.Kind.IsIndirect() && u.cfg.ITTAGE != nil && b.Taken {
+		u.cfg.ITTAGE.Update(b.PC, b.Target)
+	}
+	if u.cfg.ITTAGE != nil {
+		u.cfg.ITTAGE.Observe(b.Taken)
+	}
+	if !u.cfg.StoreReturnsInBTB && b.Kind.IsCall() {
+		u.ras.Push(b.Fallthrough())
+	}
+	return out
+}
+
+// note records the per-branch statistics common to both models.
+func (u *bpu) note(res *Result, b isa.Branch, pr prediction) {
+	res.Instructions += uint64(b.BlockLen)
+	res.DynBranches++
+	targetCorrect := pr.look.Hit && pr.look.Target == b.Target
+	if b.Taken {
+		res.TakenDyn++
+		res.TakenByClass[b.Kind.Class()]++
+		if pr.usesBTB {
+			res.LookupsTaken++
+			if !targetCorrect {
+				res.BTBMissByClass[b.Kind.Class()]++
+			}
+			if pr.look.Hit && pr.look.ExtraLatency > 0 {
+				res.ExtraBTBCycles += uint64(pr.look.ExtraLatency)
+			}
+			if pr.look.Hit && pr.look.ExtraLatency == 0 {
+				res.DeltaServed++
+			}
+		}
+	}
+	switch pr.kind {
+	case 1:
+		res.BTBResteers++
+		res.WrongPathFlush++
+		res.BTBResteerCycles += float64(pr.penalty)
+	case 2:
+		res.DirResteers++
+		res.WrongPathFlush++
+		res.DirResteerCycles += float64(pr.penalty)
+	case 3:
+		res.RASMispredicts++
+		res.RetResteers++
+		res.WrongPathFlush++
+		res.RetResteerCycles += float64(pr.penalty)
+	}
+	if b.Kind.IsConditional() && pr.dirPred != b.Taken {
+		res.DirMispredicts++
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/pdede"
+	"repro/internal/shotgun"
+)
+
+// Cross-design invariants that must hold for every predictor the harness
+// supports.
+func TestDesignInvariants(t *testing.T) {
+	tr, app := testTrace(t, 8000)
+	designs := map[string]func() (btb.TargetPredictor, error){
+		"baseline": func() (btb.TargetPredictor, error) {
+			return btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+		},
+		"dedup": func() (btb.TargetPredictor, error) {
+			return btb.NewDedupBTB(btb.DedupBTBConfig{})
+		},
+		"pdede-me": func() (btb.TargetPredictor, error) {
+			return pdede.New(pdede.MultiEntryConfig())
+		},
+		"shotgun": func() (btb.TargetPredictor, error) {
+			return shotgun.New(shotgun.DefaultConfig())
+		},
+		"perfect": func() (btb.TargetPredictor, error) {
+			return btb.NewPerfect(), nil
+		},
+	}
+	for name, mk := range designs {
+		tp, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := runWith(t, tp, tr, app, nil)
+		if res.Instructions == 0 || res.Cycles <= 0 {
+			t.Errorf("%s: degenerate result %+v", name, res)
+			continue
+		}
+		if res.BTBMisses() > res.LookupsTaken {
+			t.Errorf("%s: more BTB misses (%d) than taken lookups (%d)",
+				name, res.BTBMisses(), res.LookupsTaken)
+		}
+		if res.DeltaServed > res.LookupsTaken {
+			t.Errorf("%s: delta-served (%d) exceeds lookups (%d)", name, res.DeltaServed, res.LookupsTaken)
+		}
+		if res.TakenDyn > res.DynBranches {
+			t.Errorf("%s: taken (%d) exceeds branches (%d)", name, res.TakenDyn, res.DynBranches)
+		}
+		if res.WrongPathFlush != res.BTBResteers+res.DirResteers+res.RetResteers {
+			t.Errorf("%s: resteer accounting inconsistent", name)
+		}
+		if res.IPC() > float64(Icelake().RetireWidth) {
+			t.Errorf("%s: IPC %v above retire width", name, res.IPC())
+		}
+	}
+}
+
+// The pipelined-BTB model: the extra lookup cycle must cost far less than a
+// naive produce-side charge — removing it entirely should change IPC only
+// slightly for PDede (the paper's §5.4 argument).
+func TestExtraCycleIsRestartOnly(t *testing.T) {
+	tr, app := testTrace(t, 16000)
+	pd, _ := pdede.New(pdede.DefaultConfig())
+	normal := runWith(t, pd, tr, app, nil)
+
+	// Partition-only forces every hit through the 2-cycle path; even so the
+	// IPC delta vs an identical-capacity delta design must stay small
+	// (within a few percent), because the latency is pipelined.
+	po, _ := pdede.New(func() pdede.Config {
+		c := pdede.DefaultConfig()
+		c.DisableDelta = true
+		return c
+	}())
+	forced := runWith(t, po, tr, app, nil)
+	if d := normal.IPC()/forced.IPC() - 1; d > 0.08 {
+		t.Errorf("2-cycle path costs %v IPC — latency is being charged as throughput", d)
+	}
+	if normal.ExtraBTBCycles == 0 {
+		t.Error("no pointer-path lookups recorded for PDede-Default")
+	}
+	if forced.DeltaServed != 0 {
+		t.Error("partition-only served delta lookups")
+	}
+}
+
+// ICache pressure must respond to footprint.
+func TestICacheMissesScaleWithFootprint(t *testing.T) {
+	trSmall, appS := testTrace(t, 1200)
+	trBig, appB := testTrace(t, 30000)
+	b1, _ := btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+	b2, _ := btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+	small := runWith(t, b1, trSmall, appS, nil)
+	big := runWith(t, b2, trBig, appB, nil)
+	mrS := float64(small.ICacheMisses) / float64(small.ICacheAccesses)
+	mrB := float64(big.ICacheMisses) / float64(big.ICacheAccesses)
+	if mrB <= mrS {
+		t.Errorf("icache miss rate did not grow with footprint: %v vs %v", mrS, mrB)
+	}
+}

@@ -1,0 +1,112 @@
+// Package core implements the cycle-approximate out-of-order core model
+// used for all IPC results: a decoupled FDIP frontend (BPU + fetch target
+// queue + ICache with implicit prefetch) feeding a retire-width backend,
+// with resteer penalties charged at decode (wrong direct targets) or
+// execute (wrong directions, wrong indirect targets).
+//
+// The model is trace-replay based: the BPU walks the architectural path,
+// predicting every branch; mispredictions cost pipeline-depth penalties and
+// reset the frontend's runahead. The runahead ("lead") abstraction stands in
+// for the fetch target queue: the BPU gets ahead of the backend by up to
+// the FTQ capacity, and that lead is what hides ICache miss latency and
+// PDede's extra lookup cycle. This reproduces the sensitivities the paper
+// studies (Figure 11b) at a tiny fraction of a full pipeline simulation's
+// cost, which is what makes the 102-app × ~20-config evaluation tractable.
+package core
+
+import "fmt"
+
+// Params are the micro-architectural parameters (Table 3, Icelake-like).
+type Params struct {
+	Name string
+
+	// FetchWidth is the instructions fetched per cycle.
+	FetchWidth int
+	// RetireWidth is the µops retired per cycle.
+	RetireWidth int
+	// DecodeResteer is the penalty (cycles) of a resteer detected at
+	// decode: wrong or missing target for a *direct* branch.
+	DecodeResteer int
+	// ExecResteer is the penalty of a resteer detected at execute: wrong
+	// direction, or wrong/missing *indirect* target.
+	ExecResteer int
+	// FetchQueueEntries bounds the frontend runahead, in predicted blocks
+	// (≈ cycles of supply).
+	FetchQueueEntries int
+
+	// ICacheBytes/Ways/LineBytes size the instruction cache.
+	ICacheBytes     int
+	ICacheWays      int
+	ICacheLineBytes int
+	// ICacheMissLat is the fill latency from L2 (cycles).
+	ICacheMissLat int
+	// L2Bytes/L2Ways size the unified L2 holding code lines the ICache
+	// missed; ICache misses that also miss L2 pay L2MissLat instead.
+	L2Bytes   int
+	L2Ways    int
+	L2MissLat int
+
+	// RASEntries sizes the return address stack.
+	RASEntries int
+
+	// WrongPathLines is the number of ICache lines fetched down the wrong
+	// path before a resteer resolves (wrong-path pollution). 0 disables
+	// pollution; the ext-wrongpath ablation sweeps it.
+	WrongPathLines int
+}
+
+// Icelake returns the Table 3 baseline core.
+func Icelake() Params {
+	return Params{
+		Name:              "icelake",
+		FetchWidth:        6,
+		RetireWidth:       5,
+		DecodeResteer:     10,
+		ExecResteer:       20,
+		FetchQueueEntries: 64,
+		ICacheBytes:       32 * 1024,
+		ICacheWays:        8,
+		ICacheLineBytes:   64,
+		ICacheMissLat:     14,
+		L2Bytes:           1 << 20,
+		L2Ways:            16,
+		L2MissLat:         42,
+		RASEntries:        32,
+	}
+}
+
+// Scale returns the core with pipeline depth/width scaled by f (§5.11's
+// 1.5× and 2× future cores): resteer penalties deepen and the machine
+// widens, raising the relative cost of every BTB miss.
+func (p Params) Scale(f float64) Params {
+	s := p
+	s.Name = fmt.Sprintf("%s-x%.1f", p.Name, f)
+	s.FetchWidth = int(float64(p.FetchWidth)*f + 0.5)
+	s.RetireWidth = int(float64(p.RetireWidth)*f + 0.5)
+	s.DecodeResteer = int(float64(p.DecodeResteer)*f + 0.5)
+	s.ExecResteer = int(float64(p.ExecResteer)*f + 0.5)
+	s.FetchQueueEntries = int(float64(p.FetchQueueEntries)*f + 0.5)
+	return s
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.FetchWidth <= 0 || p.RetireWidth <= 0:
+		return fmt.Errorf("core: widths must be positive")
+	case p.DecodeResteer <= 0 || p.ExecResteer < p.DecodeResteer:
+		return fmt.Errorf("core: resteer penalties inconsistent (decode %d, exec %d)",
+			p.DecodeResteer, p.ExecResteer)
+	case p.FetchQueueEntries <= 0:
+		return fmt.Errorf("core: fetch queue must be positive")
+	case p.ICacheBytes <= 0 || p.ICacheWays <= 0 || p.ICacheLineBytes <= 0:
+		return fmt.Errorf("core: icache geometry")
+	case p.ICacheMissLat <= 0:
+		return fmt.Errorf("core: icache miss latency")
+	case p.L2Bytes <= 0 || p.L2Ways <= 0 || p.L2MissLat < p.ICacheMissLat:
+		return fmt.Errorf("core: L2 geometry/latency")
+	case p.RASEntries <= 0:
+		return fmt.Errorf("core: RAS entries")
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// RunPipeline is the repository's second, more literal core model: instead
+// of the analytic runahead credit of Run, it tracks explicit per-block
+// timestamps through BPU → fetch-target queue → ICache/fetch → decode →
+// retire, like an event-driven pipeline simulation.
+//
+//	bpuDone   — cycle the block's prediction leaves the BPU (1 block/cycle,
+//	            stalled by FTQ occupancy; after a flush, the first
+//	            prediction pays the BTB's extra latency, which is otherwise
+//	            pipelined away)
+//	fetchDone — ICache fill (prefetch starts at FTQ insert) plus
+//	            width-limited fetch, in order
+//	decodeAt  — fetchDone + decode depth
+//	retire    — in-order, RetireWidth/BackendCPI limited
+//
+// Mispredictions flush: decode-detected (wrong direct target) restarts the
+// BPU at decodeAt; execute-detected (direction, indirect, return) restarts
+// at decodeAt + (ExecResteer − DecodeResteer). The penalties therefore
+// emerge from pipeline geometry rather than being charged as constants —
+// cross-validating the analytic model (see pipeline_test.go).
+//
+// Both models share the bpu (identical prediction, training and MPKI
+// accounting); they differ only in how prediction behaviour becomes cycles.
+func RunPipeline(cfg Config, src trace.Source) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BTB == nil {
+		return nil, fmt.Errorf("core: no BTB configured")
+	}
+	if cfg.BackendCPI <= 0 {
+		return nil, fmt.Errorf("core: BackendCPI must be positive")
+	}
+	dir := cfg.Direction
+	if dir == nil {
+		var err error
+		dir, err = predictor.NewTAGE(predictor.DefaultTAGEConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	ic, err := cache.New(cfg.Params.ICacheBytes, cfg.Params.ICacheWays, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.Params.L2Bytes, cfg.Params.L2Ways, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &pipeline{
+		cfg: cfg,
+		ic:  ic,
+		l2:  l2,
+		res: &Result{App: src.Name(), Design: cfg.BTB.Name() + "+pipe"},
+	}
+	p.bpu = &bpu{cfg: &p.cfg, dir: dir, ras: predictor.NewRAS(cfg.Params.RASEntries)}
+	p.effCPI = cfg.BackendCPI
+	if min := 1 / float64(cfg.Params.RetireWidth); p.effCPI < min {
+		p.effCPI = min
+	}
+	p.ftqFree = make([]float64, cfg.Params.FetchQueueEntries)
+
+	r := src.Open()
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.step(b)
+		if cfg.MeasureInstrs != 0 && p.measured >= cfg.MeasureInstrs {
+			break
+		}
+	}
+	if p.retireEnd > p.measureStart {
+		p.res.Cycles = p.retireEnd - p.measureStart
+	}
+	return p.res, nil
+}
+
+type pipeline struct {
+	cfg    Config
+	bpu    *bpu
+	ic     *cache.Cache
+	l2     *cache.Cache
+	res    *Result
+	effCPI float64
+
+	seen     uint64
+	measured uint64
+
+	// Timestamps, in cycles since simulation start.
+	bpuDone      float64   // last prediction completion
+	fetchEnd     float64   // last fetch completion (fetch is in-order)
+	retireEnd    float64   // last retirement completion
+	ftqFree      []float64 // ring: fetch-completion times of the last N blocks
+	ftqPos       int
+	refill       bool    // next prediction pays the BTB extra latency
+	measureStart float64 // retireEnd when the measured window began
+	started      bool
+}
+
+func (p *pipeline) step(b isa.Branch) {
+	par := &p.cfg.Params
+	measuring := p.seen >= p.cfg.WarmupInstrs
+	if measuring && !p.started {
+		p.started = true
+		p.measureStart = p.retireEnd
+	}
+	p.seen += uint64(b.BlockLen)
+	if measuring {
+		p.measured += uint64(b.BlockLen)
+	}
+
+	// --- BPU: one block prediction per cycle, gated by FTQ occupancy (the
+	// slot freed by the block FetchQueueEntries back) and by how far the
+	// frontend may run ahead of retirement (the queues between decode and
+	// retire are finite; FetchQueueEntries cycles of runahead mirrors the
+	// analytic model's lead cap).
+	issueAt := p.bpuDone + 1
+	if slotFree := p.ftqFree[p.ftqPos]; slotFree > issueAt {
+		issueAt = slotFree
+	}
+	if floor := p.retireEnd - float64(par.FetchQueueEntries); issueAt < floor {
+		issueAt = floor
+	}
+
+	pr := p.bpu.predict(b)
+	extraUsed := b.Taken && pr.look.Hit && pr.look.ExtraLatency > 0 &&
+		(pr.dirPred || !b.Kind.IsConditional())
+	if extraUsed {
+		// See sim.go: the taken-branch lookup recurrence serializes part of
+		// the extra latency; the full latency shows once per refill.
+		issueAt += serializeFrac * float64(pr.look.ExtraLatency)
+		if p.refill {
+			issueAt += (1 - serializeFrac) * float64(pr.look.ExtraLatency)
+		}
+	}
+	if b.Taken || !b.Kind.IsConditional() {
+		p.refill = false
+	}
+	p.bpuDone = issueAt
+
+	// --- ICache: prefetch fires at FTQ insert; fills are pipelined, from
+	// the L2 when it holds the line and from beyond otherwise.
+	blockStart := b.PC.Add(-uint64(b.BlockLen-1) * isa.InstrBytes)
+	misses := p.ic.AccessRange(blockStart, b.PC)
+	ready := issueAt
+	if misses > 0 {
+		fillLat := float64(par.ICacheMissLat)
+		if l2miss := p.l2.AccessRange(blockStart, b.PC); l2miss > 0 {
+			fillLat = float64(par.L2MissLat)
+		}
+		ready += fillLat + 2*float64(misses-1)
+	}
+
+	// --- Fetch: in-order, width-limited.
+	fetchCycles := float64((int(b.BlockLen) + par.FetchWidth - 1) / par.FetchWidth)
+	fetchStart := ready
+	if p.fetchEnd > fetchStart {
+		fetchStart = p.fetchEnd
+	}
+	p.fetchEnd = fetchStart + fetchCycles
+	p.ftqFree[p.ftqPos] = p.fetchEnd
+	p.ftqPos = (p.ftqPos + 1) % len(p.ftqFree)
+
+	// --- Decode and in-order retire.
+	decodeAt := p.fetchEnd + float64(par.DecodeResteer)
+	retireStart := decodeAt
+	if p.retireEnd > retireStart {
+		retireStart = p.retireEnd
+	}
+	newRetireEnd := retireStart + float64(b.BlockLen)*p.effCPI
+
+	if measuring {
+		p.bpu.note(p.res, b, pr)
+		p.res.ICacheAccesses++
+		p.res.ICacheMisses += uint64(misses)
+		p.res.BackendCycles += float64(b.BlockLen) * p.effCPI
+		bubble := newRetireEnd - p.retireEnd - float64(b.BlockLen)*p.effCPI
+		if bubble > 0 {
+			p.res.FrontendBubbles += bubble
+		}
+	}
+	p.retireEnd = newRetireEnd
+
+	// --- Resteer: restart the frontend where the misprediction is caught.
+	if pr.penalty > 0 {
+		restart := decodeAt
+		if pr.kind != 1 || b.Kind.IsIndirect() {
+			restart = decodeAt + float64(par.ExecResteer-par.DecodeResteer)
+		}
+		p.bpuDone = restart
+		p.fetchEnd = restart
+		for i := range p.ftqFree {
+			p.ftqFree[i] = 0
+		}
+		p.ftqPos = 0
+		p.refill = true
+		if par.WrongPathLines > 0 {
+			start := b.Fallthrough()
+			if pr.look.Hit && pr.look.Target != b.NextPC() {
+				start = pr.look.Target
+			}
+			line := uint64(par.ICacheLineBytes)
+			for i := 0; i < par.WrongPathLines; i++ {
+				p.ic.Access(start.Add(uint64(i) * line))
+			}
+		}
+	}
+}

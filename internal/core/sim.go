@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// serializeFrac is the share of a multi-cycle BTB lookup's extra latency
+// that the taken-branch recurrence exposes as lost BPU throughput; the rest
+// is overlapped by next-block prediction (§5.4's decoupled-frontend
+// argument). Calibrated so that the always-2-cycle configuration costs
+// about one point of IPC gain, as the paper measures.
+const serializeFrac = 0.3
+
+// Config assembles one simulation: a core, a branch-prediction unit, and
+// the windowing methodology (warmup then measure, per §5.1).
+type Config struct {
+	Params Params
+
+	// BackendCPI is the cycles-per-instruction the backend would sustain
+	// with a perfect frontend (per-app data-dependency pressure; comes from
+	// the workload config).
+	BackendCPI float64
+
+	// BTB is the target predictor under evaluation.
+	BTB btb.TargetPredictor
+	// Direction predicts conditional branches (nil selects a default TAGE).
+	Direction predictor.Direction
+	// PerfectDirection short-circuits direction prediction (§5.5).
+	PerfectDirection bool
+	// ITTAGE, when non-nil, serves indirect branches instead of the BTB
+	// (§5.6: indirect targets are then not allocated in the BTB).
+	ITTAGE *predictor.ITTAGE
+	// StoreReturnsInBTB drops the RAS and routes returns through the BTB
+	// (§5.7). The BTB must be configured to accept returns.
+	StoreReturnsInBTB bool
+
+	// UsePipeline requests the event-timestamped pipeline model
+	// (RunPipeline); harnesses that accept a Config honour it when
+	// dispatching. Run itself ignores the flag.
+	UsePipeline bool
+
+	// WarmupInstrs are executed with all structures live but no statistics
+	// (the paper warms with 100M+ and measures 10M+; scale to taste).
+	WarmupInstrs uint64
+	// MeasureInstrs bounds the measured window (0 = to end of trace).
+	MeasureInstrs uint64
+}
+
+// Run replays one trace through the configured core.
+func Run(cfg Config, src trace.Source) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BTB == nil {
+		return nil, fmt.Errorf("core: no BTB configured")
+	}
+	if cfg.BackendCPI <= 0 {
+		return nil, fmt.Errorf("core: BackendCPI must be positive")
+	}
+	dir := cfg.Direction
+	if dir == nil {
+		var err error
+		dir, err = predictor.NewTAGE(predictor.DefaultTAGEConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	ic, err := cache.New(cfg.Params.ICacheBytes, cfg.Params.ICacheWays, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.Params.L2Bytes, cfg.Params.L2Ways, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+	ras := predictor.NewRAS(cfg.Params.RASEntries)
+
+	s := &sim{
+		cfg:  cfg,
+		bpu:  &bpu{cfg: &cfg, dir: dir, ras: ras},
+		ic:   ic,
+		l2:   l2,
+		res:  &Result{App: src.Name(), Design: cfg.BTB.Name()},
+		lead: 0,
+	}
+	s.bpu.cfg = &s.cfg
+	s.effCPI = cfg.BackendCPI
+	if min := 1 / float64(cfg.Params.RetireWidth); s.effCPI < min {
+		s.effCPI = min
+	}
+
+	r := src.Open()
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.step(b)
+		if cfg.MeasureInstrs != 0 && s.measured >= cfg.MeasureInstrs {
+			break
+		}
+	}
+	return s.res, nil
+}
+
+type sim struct {
+	cfg    Config
+	bpu    *bpu
+	ic     *cache.Cache
+	l2     *cache.Cache
+	res    *Result
+	effCPI float64
+
+	seen     uint64 // total instructions processed (incl. warmup)
+	measured uint64 // instructions inside the measured window
+	lead     float64
+	// refill marks that the frontend pipeline was just flushed: the first
+	// multi-cycle BTB lookup afterwards exposes its extra latency (a
+	// pipelined 2-cycle BTB costs throughput nothing in steady state, only
+	// restart latency — §5.4).
+	refill bool
+}
+
+// step processes one dynamic branch record: the basic block ending in it
+// plus the branch's prediction, resolution and cycle accounting.
+func (s *sim) step(b isa.Branch) {
+	p := &s.cfg.Params
+	measuring := s.seen >= s.cfg.WarmupInstrs
+	s.seen += uint64(b.BlockLen)
+	if measuring {
+		s.measured += uint64(b.BlockLen)
+	}
+
+	// --- Instruction fetch for the block [BlockStart, PC]. ICache misses
+	// fill from the L2; code that misses there too pays the longer latency.
+	blockStart := b.PC.Add(-uint64(b.BlockLen-1) * isa.InstrBytes)
+	misses := s.ic.AccessRange(blockStart, b.PC)
+	fillLat := float64(p.ICacheMissLat)
+	if misses > 0 {
+		if l2miss := s.l2.AccessRange(blockStart, b.PC); l2miss > 0 {
+			fillLat = float64(p.L2MissLat)
+		}
+		if measuring {
+			s.res.ICacheMisses += uint64(misses)
+		}
+	}
+	if measuring {
+		s.res.ICacheAccesses++
+	}
+
+	// --- Branch prediction unit (lookup, direction, classification,
+	// training) — shared with the pipeline model.
+	pr := s.bpu.predict(b)
+	if measuring {
+		s.bpu.note(s.res, b, pr)
+	}
+
+	// --- Cycle accounting (runahead/lead model, see package comment).
+	// The BTB's extra lookup cycle is pipelined: back-to-back lookups
+	// overlap, so steady-state supply is unaffected; the latency is exposed
+	// only when the frontend restarts after a flush (and, mildly, as slower
+	// runahead growth, modelled by the lead debit below).
+	produce := float64((int(b.BlockLen) + p.FetchWidth - 1) / p.FetchWidth)
+	extraUsed := b.Taken && pr.look.Hit && pr.look.ExtraLatency > 0 && (pr.dirPred || !b.Kind.IsConditional())
+	if extraUsed {
+		// Taken-branch lookups form a serial recurrence (the next lookup
+		// address is this lookup's target), so a multi-cycle BTB cannot be
+		// fully pipelined across taken branches; next-block prediction
+		// overlaps most of it. After a flush the full latency is exposed
+		// once while the pipeline refills.
+		produce += serializeFrac * float64(pr.look.ExtraLatency)
+		if s.refill {
+			produce += (1 - serializeFrac) * float64(pr.look.ExtraLatency)
+		}
+	}
+	if b.Taken || !b.Kind.IsConditional() {
+		s.refill = false
+	}
+	icacheStall := 0.0
+	if misses > 0 {
+		icacheStall = fillLat - s.lead
+		if icacheStall < 0 {
+			icacheStall = 0
+		}
+		// Extra misses in the same block fill back-to-back (pipelined L2).
+		icacheStall += 2 * float64(misses-1)
+	}
+	consume := float64(b.BlockLen) * s.effCPI
+	supply := produce + icacheStall
+	bubble := supply - consume - s.lead
+	if bubble < 0 {
+		bubble = 0
+	}
+	s.lead += consume + bubble - supply
+	if s.lead < 0 {
+		s.lead = 0
+	}
+	if lim := float64(p.FetchQueueEntries); s.lead > lim {
+		s.lead = lim
+	}
+
+	if measuring {
+		s.res.Cycles += consume + bubble + float64(pr.penalty)
+		s.res.BackendCycles += consume
+		s.res.FrontendBubbles += bubble
+	}
+	if pr.penalty > 0 {
+		s.lead = 0
+		s.refill = true
+		if p.WrongPathLines > 0 {
+			s.polluteWrongPath(b, pr.look)
+		}
+	}
+}
+
+// polluteWrongPath models the ICache pollution of wrong-path fetch: until a
+// resteer resolves, the frontend streams lines from wherever it (wrongly)
+// went — the mispredicted target if it had one, the fallthrough otherwise.
+func (s *sim) polluteWrongPath(b isa.Branch, look btb.Lookup) {
+	start := b.Fallthrough()
+	if look.Hit && look.Target != b.NextPC() {
+		start = look.Target
+	}
+	line := uint64(s.cfg.Params.ICacheLineBytes)
+	for i := 0; i < s.cfg.Params.WrongPathLines; i++ {
+		s.ic.Access(start.Add(uint64(i) * line))
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDesignConstructors(t *testing.T) {
+	sets := [][]Design{StandardDesigns(), AblationDesigns(), ShotgunDesigns()}
+	for si, ds := range sets {
+		names := map[string]bool{}
+		for _, d := range ds {
+			if d.Name == "" || d.New == nil {
+				t.Errorf("set %d: incomplete design %+v", si, d)
+				continue
+			}
+			if names[d.Name] {
+				t.Errorf("set %d: duplicate design name %q", si, d.Name)
+			}
+			names[d.Name] = true
+			tp, err := d.New()
+			if err != nil {
+				t.Errorf("set %d %s: %v", si, d.Name, err)
+				continue
+			}
+			if tp.StorageBits() == 0 {
+				t.Errorf("%s reports zero storage", d.Name)
+			}
+			// A second New must give independent state.
+			tp2, _ := d.New()
+			if tp == tp2 {
+				t.Errorf("%s: New returned shared instance", d.Name)
+			}
+		}
+	}
+}
+
+func TestDesignWrappers(t *testing.T) {
+	base := BaselineDesign(NameBaseline, 4096)
+
+	pd := WithPerfectDirection(base)
+	var cfg core.Config
+	pd.Mod(&cfg)
+	if !cfg.PerfectDirection {
+		t.Error("WithPerfectDirection did not set the flag")
+	}
+	if pd.Name == base.Name {
+		t.Error("wrapper did not rename the design")
+	}
+
+	it := WithITTAGE(BaselineDesign(NameBaseline, 4096))
+	cfg = core.Config{}
+	it.Mod(&cfg)
+	if cfg.ITTAGE == nil {
+		t.Error("WithITTAGE did not install a predictor")
+	}
+
+	rets := WithReturnsInBTB(BaselineDesign(NameBaseline, 4096))
+	cfg = core.Config{}
+	rets.Mod(&cfg)
+	if !cfg.StoreReturnsInBTB {
+		t.Error("WithReturnsInBTB did not set the flag")
+	}
+
+	p := core.Icelake()
+	p.FetchQueueEntries = 7
+	wp := WithParams(BaselineDesign(NameBaseline, 4096), "custom", p)
+	cfg = core.Config{}
+	wp.Mod(&cfg)
+	if cfg.Params.FetchQueueEntries != 7 {
+		t.Error("WithParams did not apply parameters")
+	}
+	if wp.Name != "custom" {
+		t.Errorf("WithParams name = %q", wp.Name)
+	}
+
+	// Wrappers compose: both Mods fire.
+	both := WithPerfectDirection(WithReturnsInBTB(BaselineDesign(NameBaseline, 4096)))
+	cfg = core.Config{}
+	both.Mod(&cfg)
+	if !cfg.PerfectDirection || !cfg.StoreReturnsInBTB {
+		t.Error("wrapper composition lost a Mod")
+	}
+}
+
+func TestTwoLevelDesignConstructs(t *testing.T) {
+	for _, pdedeL1 := range []bool{false, true} {
+		d := TwoLevelDesign("2l", 256, pdedeL1)
+		tp, err := d.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Name() == "" {
+			t.Error("unnamed two-level design")
+		}
+	}
+}

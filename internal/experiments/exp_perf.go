@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/btb"
+	"repro/internal/cactilite"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/pdede"
+	"repro/internal/textplot"
+)
+
+// summarize prints mean IPC gain and MPKI reduction of each design vs base.
+func summarize(w io.Writer, s *Suite, base string, designs []string) error {
+	tb := metrics.NewTable("design", "IPC gain (geomean)", "BTB MPKI reduction (mean)", "max IPC gain", "min IPC gain")
+	for _, d := range designs {
+		if d == base {
+			continue
+		}
+		gains := s.Gains(d, base)
+		reds := s.MPKIReductions(d, base)
+		tb.AddRow(d, metrics.Pct(metrics.GeoMeanSpeedup(gains)), metrics.Pct0(metrics.Mean(reds)),
+			metrics.Pct(metrics.Max(gains)), metrics.Pct(metrics.Min(gains)))
+	}
+	_, err := fmt.Fprint(w, tb)
+	return err
+}
+
+// expFig10 — headline IPC/MPKI results and the per-app gain curve.
+func expFig10() Experiment {
+	return Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: IPC and MPKI improvements of PDede variants over the 4K baseline",
+		Paper: "Default +9.4% IPC / −35.4% MPKI; Multi-Target +11.4%; Multi-Entry +14.4% / −54.7% (gains 3–76%)",
+		Run: func(r *Runner, w io.Writer) error {
+			designs := StandardDesigns()
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			names := []string{NamePDede, NameMultiTarget, NameMultiEntry}
+			if err := summarize(w, suite, NameBaseline, names); err != nil {
+				return err
+			}
+
+			// 10a/b: per-category breakdown for the best design.
+			fmt.Fprintln(w, "\nPer-category (PDede-Multi Entry vs baseline):")
+			tb := metrics.NewTable("category", "apps", "IPC gain", "MPKI reduction")
+			for cat, idx := range suite.ByCategory() {
+				var gains, reds []float64
+				for _, i := range idx {
+					a := suite.Apps[i]
+					gains = append(gains, a.Results[NameMultiEntry].Speedup(a.Results[NameBaseline]))
+					reds = append(reds, a.Results[NameMultiEntry].MPKIReduction(a.Results[NameBaseline]))
+				}
+				tb.AddRow(cat.String(), fmt.Sprint(len(idx)),
+					metrics.Pct(metrics.GeoMeanSpeedup(gains)), metrics.Pct0(metrics.Mean(reds)))
+			}
+			fmt.Fprint(w, tb)
+
+			// Per-class MPKI reduction (the paper: cond −74%, uncond −49%, indirect −4%).
+			fmt.Fprintln(w, "\nPer-class MPKI reduction (Multi-Entry vs baseline, suite aggregate):")
+			var missBase, missME [isa.NumClasses]uint64
+			var instr uint64
+			for _, a := range suite.Apps {
+				for cl := 0; cl < isa.NumClasses; cl++ {
+					missBase[cl] += a.Results[NameBaseline].BTBMissByClass[cl]
+					missME[cl] += a.Results[NameMultiEntry].BTBMissByClass[cl]
+				}
+				instr += a.Results[NameBaseline].Instructions
+			}
+			tbc := metrics.NewTable("class", "baseline MPKI", "pdede-me MPKI", "reduction")
+			for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+				if missBase[cl] == 0 {
+					continue
+				}
+				b := float64(missBase[cl]) * 1000 / float64(instr)
+				m := float64(missME[cl]) * 1000 / float64(instr)
+				tbc.AddRow(cl.String(), fmt.Sprintf("%.3f", b), fmt.Sprintf("%.3f", m), metrics.Pct0(1-m/b))
+			}
+			fmt.Fprint(w, tbc)
+
+			// 10c: the per-app gain curve.
+			fmt.Fprintln(w, "\nPer-app IPC gain curve (Multi-Entry, ascending):")
+			type appGain struct {
+				name string
+				gain float64
+			}
+			var curve []appGain
+			for _, a := range suite.Apps {
+				curve = append(curve, appGain{a.App.Name, a.Results[NameMultiEntry].Speedup(a.Results[NameBaseline])})
+			}
+			sort.Slice(curve, func(i, j int) bool { return curve[i].gain < curve[j].gain })
+			var bars []textplot.Bar
+			for i, ag := range curve {
+				if len(curve) > 24 && i%(len(curve)/24+1) != 0 && i != len(curve)-1 {
+					continue
+				}
+				bars = append(bars, textplot.Bar{Label: ag.name, Value: 100 * ag.gain})
+			}
+			fmt.Fprint(w, textplot.BarChart(bars, 40, "%+.1f%%"))
+			return nil
+		},
+	}
+}
+
+// expFig11a — per-technique contribution.
+func expFig11a() Experiment {
+	return Experiment{
+		ID:    "fig11a",
+		Title: "Figure 11a: IPC contribution of each technique (cumulative designs)",
+		Paper: "dedup-only +1.6%; +partitioning +5.3%; +delta +2.5%; +MT +2%; +ME +5%",
+		Run: func(r *Runner, w io.Writer) error {
+			suite, err := r.Run(AblationDesigns())
+			if err != nil {
+				return err
+			}
+			order := []string{NameDedup, NamePartition, NamePDede, NameMultiTarget, NameMultiEntry}
+			tb := metrics.NewTable("design (cumulative)", "IPC gain vs baseline", "increment over previous", "MPKI reduction")
+			var bars []textplot.Bar
+			prev := 0.0
+			for _, d := range order {
+				g := metrics.GeoMeanSpeedup(suite.Gains(d, NameBaseline))
+				red := metrics.Mean(suite.MPKIReductions(d, NameBaseline))
+				tb.AddRow(d, metrics.Pct(g), metrics.Pct(g-prev), metrics.Pct0(red))
+				bars = append(bars, textplot.Bar{Label: d, Value: 100 * g})
+				prev = g
+			}
+			if _, err = fmt.Fprint(w, tb); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			_, err = fmt.Fprint(w, textplot.BarChart(bars, 40, "%+.1f%%"))
+			return err
+		},
+	}
+}
+
+// expFig11b — 2-cycle-always BTB and fetch-queue sweep.
+func expFig11b() Experiment {
+	return Experiment{
+		ID:    "fig11b",
+		Title: "Figure 11b: always-2-cycle BTB penalty and fetch-queue-size sensitivity",
+		Paper: "always-2-cycle lowers gains 14.4%→13.4%; gains 12.7% at small FTQ → 15.4% at 128 entries",
+		Run: func(r *Runner, w io.Writer) error {
+			twoCycle := pdede.MultiEntryConfig()
+			twoCycle.ExtraCycleAlways = true
+			designs := []Design{
+				BaselineDesign(NameBaseline, 4096),
+				PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig()),
+				PDedeDesign("pdede-me-2cyc-always", twoCycle),
+			}
+			for _, ftq := range []int{16, 32, 128} {
+				p := core.Icelake()
+				p.FetchQueueEntries = ftq
+				designs = append(designs,
+					WithParams(BaselineDesign(fmt.Sprintf("baseline-ftq%d", ftq), 4096), fmt.Sprintf("baseline-ftq%d", ftq), p),
+					WithParams(PDedeDesign(fmt.Sprintf("pdede-me-ftq%d", ftq), pdede.MultiEntryConfig()), fmt.Sprintf("pdede-me-ftq%d", ftq), p),
+				)
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("configuration", "PDede-ME IPC gain")
+			tb.AddRow("FTQ 64 (default)", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry, NameBaseline))))
+			tb.AddRow("FTQ 64, 2-cycle-always", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains("pdede-me-2cyc-always", NameBaseline))))
+			for _, ftq := range []int{16, 32, 128} {
+				tb.AddRow(fmt.Sprintf("FTQ %d", ftq),
+					metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(
+						fmt.Sprintf("pdede-me-ftq%d", ftq), fmt.Sprintf("baseline-ftq%d", ftq)))))
+			}
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expFig11c — 2-level BTB with PDede as L1.
+func expFig11c() Experiment {
+	return Experiment{
+		ID:    "fig11c",
+		Title: "Figure 11c: 2-level BTB — PDede re-architecting the L1",
+		Paper: "PDede L1 provides significant gains across L0 sizes",
+		Run: func(r *Runner, w io.Writer) error {
+			var designs []Design
+			sizes := []int{128, 256, 512, 1024}
+			for _, l0 := range sizes {
+				designs = append(designs,
+					TwoLevelDesign(fmt.Sprintf("2L-base-l0_%d", l0), l0, false),
+					TwoLevelDesign(fmt.Sprintf("2L-pdede-l0_%d", l0), l0, true),
+				)
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("L0 entries", "PDede-L1 IPC gain over baseline-L1")
+			for _, l0 := range sizes {
+				g := metrics.GeoMeanSpeedup(suite.Gains(
+					fmt.Sprintf("2L-pdede-l0_%d", l0), fmt.Sprintf("2L-base-l0_%d", l0)))
+				tb.AddRow(fmt.Sprint(l0), metrics.Pct(g))
+			}
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expFig12a — Shotgun comparison.
+func expFig12a() Experiment {
+	return Experiment{
+		ID:    "fig12a",
+		Title: "Figure 12a: comparison to a Shotgun-style state-of-the-art BTB",
+		Paper: "Shotgun +0.8% at iso-storage, +2.7% at 45KB; PDede +14.4% at iso-storage",
+		Run: func(r *Runner, w io.Writer) error {
+			suite, err := r.Run(ShotgunDesigns())
+			if err != nil {
+				return err
+			}
+			return summarize(w, suite, NameBaseline, []string{NameShotgun, NameShotgun + "-45KB", NameMultiEntry})
+		},
+	}
+}
+
+// expFig12b — larger BTB sizes.
+func expFig12b() Experiment {
+	return Experiment{
+		ID:    "fig12b",
+		Title: "Figure 12b: PDede gains at larger BTB sizes (iso-storage per size)",
+		Paper: "gains shrink as footprints start to fit: +3.3% at 16K entries (150KB); JITed servers still +6%",
+		Run: func(r *Runner, w io.Writer) error {
+			sizes := []int{4096, 8192, 16384}
+			var designs []Design
+			for _, n := range sizes {
+				designs = append(designs,
+					BaselineDesign(fmt.Sprintf("baseline-%d", n), n),
+					PDedeDesign(fmt.Sprintf("pdede-me-%d", n), pdede.ScaledFromBaseline(n, pdede.MultiEntry)),
+				)
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("baseline entries", "storage", "PDede-ME IPC gain", "MPKI reduction", "JITed-server gain")
+			for _, n := range sizes {
+				base := fmt.Sprintf("baseline-%d", n)
+				pd := fmt.Sprintf("pdede-me-%d", n)
+				// JITed server apps called out by §5.8.
+				var jit []float64
+				for _, a := range suite.Apps {
+					if len(a.App.Name) >= 18 && a.App.Name[:18] == "Server-jit-backend" {
+						jit = append(jit, a.Results[pd].Speedup(a.Results[base]))
+					}
+				}
+				jitCell := "n/a"
+				if len(jit) > 0 {
+					jitCell = metrics.Pct(metrics.GeoMeanSpeedup(jit))
+				}
+				tb.AddRow(fmt.Sprint(n), fmt.Sprintf("%.1fKB", float64(n*75)/8/1024),
+					metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(pd, base))),
+					metrics.Pct0(metrics.Mean(suite.MPKIReductions(pd, base))), jitCell)
+			}
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expFig12c — iso-MPKI storage savings.
+func expFig12c() Experiment {
+	return Experiment{
+		ID:    "fig12c",
+		Title: "Figure 12c: smallest PDede matching the 4K baseline's MPKI (iso-MPKI storage saving)",
+		Paper: "iso-MPKI PDede needs ≈19KB (49% below the 37.5KB baseline); 87KB vs 150KB at 16K entries",
+		Run: func(r *Runner, w io.Writer) error {
+			var designs []Design
+			candidates := []int{1024, 1536, 2048, 3072, 4096}
+			for _, n := range candidates {
+				designs = append(designs, PDedeDesign(fmt.Sprintf("pdede-me-eq%d", n), pdede.ScaledFromBaseline(n, pdede.MultiEntry)))
+			}
+			designs = append(designs, BaselineDesign(NameBaseline, 4096))
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			meanMPKI := func(design string) float64 {
+				var xs []float64
+				for _, a := range suite.Apps {
+					xs = append(xs, a.Results[design].BTBMPKI())
+				}
+				return metrics.Mean(xs)
+			}
+			baseMPKI := meanMPKI(NameBaseline)
+			baseBits := uint64(4096 * 75)
+			tb := metrics.NewTable("PDede config (baseline-equivalent)", "storage", "vs baseline storage", "mean MPKI", "iso-MPKI?")
+			for _, n := range candidates {
+				name := fmt.Sprintf("pdede-me-eq%d", n)
+				p, err := pdede.New(pdede.ScaledFromBaseline(n, pdede.MultiEntry))
+				if err != nil {
+					return err
+				}
+				m := meanMPKI(name)
+				tb.AddRow(fmt.Sprint(n),
+					fmt.Sprintf("%.1fKB", float64(p.StorageBits())/8/1024),
+					metrics.Pct0(float64(p.StorageBits())/float64(baseBits)),
+					fmt.Sprintf("%.3f", m),
+					fmt.Sprint(m <= baseMPKI))
+			}
+			fmt.Fprintf(w, "baseline (37.5KB) mean MPKI: %.3f\n", baseMPKI)
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expTable2 — storage accounting.
+func expTable2() Experiment {
+	return Experiment{
+		ID:    "table2",
+		Title: "Table 2: storage requirements of PDede vs the baseline BTB",
+		Paper: "iso-storage configurations around the 37.5KB baseline",
+		Run: func(r *Runner, w io.Writer) error {
+			base, err := btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("design", "entries", "entry bits", "total", "vs baseline")
+			tb.AddRow("baseline BTB", "4096", fmt.Sprint(base.EntryBits()),
+				fmt.Sprintf("%.2fKB", float64(base.StorageBits())/8/1024), "100.0%")
+			for _, cfg := range []pdede.Config{pdede.DefaultConfig(), pdede.MultiTargetConfig(), pdede.MultiEntryConfig()} {
+				p, err := pdede.New(cfg)
+				if err != nil {
+					return err
+				}
+				entryDesc := fmt.Sprintf("%d", p.FullEntryBits())
+				if cfg.Variant == pdede.MultiEntry {
+					entryDesc = fmt.Sprintf("%d/%d", p.FullEntryBits(), p.NarrowEntryBits())
+				}
+				tb.AddRow(p.Name(), fmt.Sprint(p.Entries()), entryDesc,
+					fmt.Sprintf("%.2fKB", float64(p.StorageBits())/8/1024),
+					metrics.Pct0(float64(p.StorageBits())/float64(base.StorageBits())))
+			}
+			dd, err := btb.NewDedupBTB(btb.DedupBTBConfig{})
+			if err != nil {
+				return err
+			}
+			tb.AddRow("dedup-only", "4608", fmt.Sprint(dd.MonitorEntryBits()),
+				fmt.Sprintf("%.2fKB", float64(dd.StorageBits())/8/1024),
+				metrics.Pct0(float64(dd.StorageBits())/float64(base.StorageBits())))
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expTable4 — access latency.
+func expTable4() Experiment {
+	return Experiment{
+		ID:    "table4",
+		Title: "Table 4: access latency at 22nm (calibrated analytic SRAM model)",
+		Paper: "baseline 0.24/0.72ns; BTBM 0.21/0.55; PBTB 0.09/0.16; PDede 0.30/0.71 (1/6 RW ports)",
+		Run: func(r *Runner, w io.Writer) error {
+			tb := metrics.NewTable("structure", "1 RW port", "paper", "6 RW ports", "paper")
+			for _, row := range cactilite.Table4() {
+				tb.AddRow(row.Name,
+					fmt.Sprintf("%.2fns", row.OnePortNs), fmt.Sprintf("%.2fns", row.PaperOnePort),
+					fmt.Sprintf("%.2fns", row.SixPortNs), fmt.Sprintf("%.2fns", row.PaperSixPort))
+			}
+			_, err := fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expSec55 — perfect direction predictor.
+func expSec55() Experiment {
+	return Experiment{
+		ID:    "sec55",
+		Title: "§5.5: PDede with a perfect branch direction predictor",
+		Paper: "gains rise from 14.4% to 15.2%",
+		Run: func(r *Runner, w io.Writer) error {
+			designs := []Design{
+				BaselineDesign(NameBaseline, 4096),
+				PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig()),
+				WithPerfectDirection(BaselineDesign(NameBaseline, 4096)),
+				WithPerfectDirection(PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig())),
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("direction predictor", "PDede-ME IPC gain")
+			tb.AddRow("TAGE (default)", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry, NameBaseline))))
+			tb.AddRow("perfect", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry+"+perfdir", NameBaseline+"+perfdir"))))
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expSec56 — ITTAGE.
+func expSec56() Experiment {
+	return Experiment{
+		ID:    "sec56",
+		Title: "§5.6: both designs augmented with a 64KB ITTAGE for indirect branches",
+		Paper: "PDede still +13.9% (slightly below 14.4%: indirect MPKI no longer credits the BTB)",
+		Run: func(r *Runner, w io.Writer) error {
+			designs := []Design{
+				BaselineDesign(NameBaseline, 4096),
+				PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig()),
+				WithITTAGE(BaselineDesign(NameBaseline, 4096)),
+				WithITTAGE(PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig())),
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("indirect predictor", "PDede-ME IPC gain")
+			tb.AddRow("BTB (default)", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry, NameBaseline))))
+			tb.AddRow("64KB ITTAGE", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry+"+ittage", NameBaseline+"+ittage"))))
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expSec57 — returns stored in the BTB.
+func expSec57() Experiment {
+	return Experiment{
+		ID:    "sec57",
+		Title: "§5.7: no RAS — return targets stored in the BTB",
+		Paper: "PDede still +13.7%",
+		Run: func(r *Runner, w io.Writer) error {
+			baseRets := btb.BaselineConfig{Entries: 4096, StoreReturns: true}
+			meRets := pdede.MultiEntryConfig()
+			meRets.StoreReturns = true
+			designs := []Design{
+				BaselineDesign(NameBaseline, 4096),
+				PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig()),
+				WithReturnsInBTB(Design{Name: NameBaseline, New: func() (btb.TargetPredictor, error) {
+					return btb.NewBaseline(baseRets)
+				}}),
+				WithReturnsInBTB(PDedeDesign(NameMultiEntry, meRets)),
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("return handling", "PDede-ME IPC gain")
+			tb.AddRow("RAS (default)", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry, NameBaseline))))
+			tb.AddRow("returns in BTB", metrics.Pct(metrics.GeoMeanSpeedup(suite.Gains(NameMultiEntry+"+rets", NameBaseline+"+rets"))))
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}
+
+// expSec511 — deeper future pipelines.
+func expSec511() Experiment {
+	return Experiment{
+		ID:    "sec511",
+		Title: "§5.11: deeper/wider future cores (pipeline ×1.5 and ×2)",
+		Paper: "gains grow to 16.8% (1.5×) and 20.1% (2×)",
+		Run: func(r *Runner, w io.Writer) error {
+			var designs []Design
+			scales := []float64{1, 1.5, 2}
+			for _, sc := range scales {
+				p := core.Icelake()
+				if sc != 1 {
+					p = p.Scale(sc)
+				}
+				bn := fmt.Sprintf("baseline-x%.1f", sc)
+				pn := fmt.Sprintf("pdede-me-x%.1f", sc)
+				designs = append(designs,
+					WithParams(BaselineDesign(bn, 4096), bn, p),
+					WithParams(PDedeDesign(pn, pdede.MultiEntryConfig()), pn, p),
+				)
+			}
+			suite, err := r.Run(designs)
+			if err != nil {
+				return err
+			}
+			tb := metrics.NewTable("pipeline scale", "PDede-ME IPC gain")
+			for _, sc := range scales {
+				g := metrics.GeoMeanSpeedup(suite.Gains(
+					fmt.Sprintf("pdede-me-x%.1f", sc), fmt.Sprintf("baseline-x%.1f", sc)))
+				tb.AddRow(fmt.Sprintf("%.1fx", sc), metrics.Pct(g))
+			}
+			_, err = fmt.Fprint(w, tb)
+			return err
+		},
+	}
+}

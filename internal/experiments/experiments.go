@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/workload"
+)
+
+// Experiment reproduces one table or figure of the paper.
+type Experiment struct {
+	// ID is the handle used by cmd/pdede-experiments (-run fig10).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper is the paper's headline result for side-by-side comparison.
+	Paper string
+	// Run executes the experiment and writes its report.
+	Run func(r *Runner, w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		expFig1(), expFig3(), expFig4(), expFig5(), expFig6(), expFig7(), expFig8(),
+		expFig10(), expFig11a(), expFig11b(), expFig11c(),
+		expFig12a(), expFig12b(), expFig12c(),
+		expTable2(), expTable4(),
+		expSec55(), expSec56(), expSec57(), expSec511(),
+	}
+}
+
+// Extended returns paper artifacts plus the extension ablations.
+func Extended() []Experiment {
+	return append(All(), ExtExperiments()...)
+}
+
+// ByID locates an experiment (paper artifacts and extensions).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Extended() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// AppChar pairs an application with its trace characterization.
+type AppChar struct {
+	App  workload.Config
+	Char *analysis.Characterization
+}
+
+// CharacterizeSuite runs the §3 analysis over the selected apps in
+// parallel.
+func (r *Runner) CharacterizeSuite() ([]AppChar, error) {
+	apps := r.SuiteApps()
+	out := make([]AppChar, len(apps))
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	sem := make(chan struct{}, r.Opts.Parallelism)
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, tr, err := workload.Build(apps[i], r.Opts.TotalInstrs)
+			if err == nil {
+				var c *analysis.Characterization
+				c, err = analysis.Characterize(tr.Open())
+				if err == nil {
+					mu.Lock()
+					out[i] = AppChar{App: apps[i], Char: c}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstEr == nil {
+				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, err)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// ExportRecord is the machine-readable form of one (app, design) result,
+// for downstream plotting outside this repository.
+type ExportRecord struct {
+	App      string  `json:"app"`
+	Category string  `json:"category"`
+	Design   string  `json:"design"`
+	IPC      float64 `json:"ipc"`
+	BTBMPKI  float64 `json:"btb_mpki"`
+	DirMPKI  float64 `json:"dir_mpki"`
+
+	Instructions   uint64  `json:"instructions"`
+	Cycles         float64 `json:"cycles"`
+	TakenBranches  uint64  `json:"taken_branches"`
+	BTBMisses      uint64  `json:"btb_misses"`
+	CondMisses     uint64  `json:"cond_misses"`
+	UncondMisses   uint64  `json:"uncond_misses"`
+	IndirectMisses uint64  `json:"indirect_misses"`
+
+	FrontendStallFrac float64 `json:"frontend_stall_frac"`
+	BTBResteerShare   float64 `json:"btb_resteer_share"`
+	ICacheMissRate    float64 `json:"icache_miss_rate"`
+	DeltaServed       uint64  `json:"delta_served"`
+	ExtraBTBCycles    uint64  `json:"extra_btb_cycles"`
+}
+
+// Export flattens the suite into records, app-major then design order.
+func (s *Suite) Export() []ExportRecord {
+	var out []ExportRecord
+	for _, a := range s.Apps {
+		for _, d := range a.ByDesign {
+			r := a.Results[d]
+			if r == nil {
+				continue
+			}
+			rec := ExportRecord{
+				App:               a.App.Name,
+				Category:          a.App.Category.String(),
+				Design:            d,
+				IPC:               r.IPC(),
+				BTBMPKI:           r.BTBMPKI(),
+				DirMPKI:           r.DirMPKI(),
+				Instructions:      r.Instructions,
+				Cycles:            r.Cycles,
+				TakenBranches:     r.TakenDyn,
+				BTBMisses:         r.BTBMisses(),
+				CondMisses:        r.BTBMissByClass[isa.ClassCondDirect],
+				UncondMisses:      r.BTBMissByClass[isa.ClassUncondDirect],
+				IndirectMisses:    r.BTBMissByClass[isa.ClassIndirect],
+				FrontendStallFrac: r.FrontendStallFrac(),
+				BTBResteerShare:   r.BTBResteerShareOfStalls(),
+				DeltaServed:       r.DeltaServed,
+				ExtraBTBCycles:    r.ExtraBTBCycles,
+			}
+			if r.ICacheAccesses > 0 {
+				rec.ICacheMissRate = float64(r.ICacheMisses) / float64(r.ICacheAccesses)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the suite as a JSON array.
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pdede"
+)
+
+func quickME() pdede.Config { return pdede.MultiEntryConfig() }
+
+func TestExportAndJSON(t *testing.T) {
+	r := NewRunner(Options{Apps: 3, TotalInstrs: 500_000, WarmupInstrs: 200_000})
+	suite, err := r.Run([]Design{
+		BaselineDesign(NameBaseline, 4096),
+		PDedeDesign(NameMultiEntry, quickME()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := suite.Export()
+	if len(recs) != 6 { // 3 apps × 2 designs
+		t.Fatalf("exported %d records, want 6", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.App == "" || rec.Design == "" || rec.Category == "" {
+			t.Errorf("incomplete record: %+v", rec)
+		}
+		if rec.IPC <= 0 || rec.Instructions == 0 {
+			t.Errorf("degenerate record: %+v", rec)
+		}
+		if rec.CondMisses+rec.UncondMisses+rec.IndirectMisses > rec.BTBMisses {
+			t.Errorf("per-class misses exceed total: %+v", rec)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := suite.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []ExportRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Errorf("round-trip lost records: %d vs %d", len(back), len(recs))
+	}
+}

@@ -1,0 +1,230 @@
+// Package experiments defines one reproducible experiment per table and
+// figure in the paper's evaluation, and the shared machinery to run the
+// 102-application suite across BTB designs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/btb"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options control suite scale. The defaults run the full 102-app catalog
+// with a 1.5M-instruction warmup and a 2M-instruction measured window per
+// app (the paper warms 100M+ and measures 10M+ on its native simulator;
+// windows here scale with the synthetic footprints).
+type Options struct {
+	// Apps caps the number of applications (0 = all). Subsets are sampled
+	// evenly across the catalog so every category stays represented.
+	Apps int
+	// TotalInstrs is the trace length per app.
+	TotalInstrs uint64
+	// WarmupInstrs is the unmeasured prefix.
+	WarmupInstrs uint64
+	// Parallelism bounds concurrent app simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the full-suite configuration.
+func DefaultOptions() Options {
+	return Options{
+		TotalInstrs:  3_500_000,
+		WarmupInstrs: 1_500_000,
+	}
+}
+
+// QuickOptions returns a reduced configuration for smoke tests and quick
+// looks: 16 apps, shorter windows.
+func QuickOptions() Options {
+	return Options{
+		Apps:         16,
+		TotalInstrs:  1_200_000,
+		WarmupInstrs: 500_000,
+	}
+}
+
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.TotalInstrs == 0 {
+		o.TotalInstrs = d.TotalInstrs
+	}
+	if o.WarmupInstrs == 0 {
+		o.WarmupInstrs = d.WarmupInstrs
+	}
+	if o.WarmupInstrs >= o.TotalInstrs {
+		o.WarmupInstrs = o.TotalInstrs / 2
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Design names a BTB configuration under test: a fresh predictor per run
+// plus an optional core-config hook (perfect direction, ITTAGE, ...).
+type Design struct {
+	Name string
+	// New builds a fresh predictor (stateful structures must not be shared
+	// across runs).
+	New func() (btb.TargetPredictor, error)
+	// Mod optionally adjusts the core configuration for this design.
+	Mod func(*core.Config)
+}
+
+// AppResult holds one application's runs across all designs.
+type AppResult struct {
+	App      workload.Config
+	Results  map[string]*core.Result
+	ByDesign []string // design order, for deterministic iteration
+}
+
+// Suite is the result of running designs over the app catalog.
+type Suite struct {
+	Apps    []AppResult
+	Designs []string
+}
+
+// Runner executes suites.
+type Runner struct {
+	Opts Options
+}
+
+// NewRunner builds a runner with normalized options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{Opts: opts.normalized()}
+}
+
+// SuiteApps returns the catalog subset selected by the options.
+func (r *Runner) SuiteApps() []workload.Config {
+	apps := workload.Catalog()
+	if r.Opts.Apps <= 0 || r.Opts.Apps >= len(apps) {
+		return apps
+	}
+	// Even sampling keeps all categories represented.
+	out := make([]workload.Config, 0, r.Opts.Apps)
+	stride := float64(len(apps)) / float64(r.Opts.Apps)
+	for i := 0; i < r.Opts.Apps; i++ {
+		out = append(out, apps[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// Run executes every design over the selected apps. Traces are built once
+// per app and reused across designs, then discarded (the full suite's
+// traces would not fit in memory simultaneously).
+func (r *Runner) Run(designs []Design) (*Suite, error) {
+	apps := r.SuiteApps()
+	suite := &Suite{Apps: make([]AppResult, len(apps))}
+	for _, d := range designs {
+		suite.Designs = append(suite.Designs, d.Name)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	sem := make(chan struct{}, r.Opts.Parallelism)
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := r.runApp(apps[i], designs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstEr == nil {
+				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, err)
+				return
+			}
+			suite.Apps[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return suite, nil
+}
+
+func (r *Runner) runApp(app workload.Config, designs []Design) (AppResult, error) {
+	_, tr, err := workload.Build(app, r.Opts.TotalInstrs)
+	if err != nil {
+		return AppResult{}, err
+	}
+	out := AppResult{App: app, Results: make(map[string]*core.Result, len(designs))}
+	for _, d := range designs {
+		res, err := r.runOne(app, tr, d)
+		if err != nil {
+			return AppResult{}, fmt.Errorf("design %s: %w", d.Name, err)
+		}
+		out.Results[d.Name] = res
+		out.ByDesign = append(out.ByDesign, d.Name)
+	}
+	return out, nil
+}
+
+func (r *Runner) runOne(app workload.Config, tr *trace.Memory, d Design) (*core.Result, error) {
+	tp, err := d.New()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Params:       core.Icelake(),
+		BackendCPI:   app.BackendCPI,
+		BTB:          tp,
+		WarmupInstrs: r.Opts.WarmupInstrs,
+	}
+	if d.Mod != nil {
+		d.Mod(&cfg)
+	}
+	if cfg.UsePipeline {
+		return core.RunPipeline(cfg, tr)
+	}
+	return core.Run(cfg, tr)
+}
+
+// Gains collects per-app relative IPC gains of design vs base.
+func (s *Suite) Gains(design, base string) []float64 {
+	var out []float64
+	for _, a := range s.Apps {
+		d, b := a.Results[design], a.Results[base]
+		if d == nil || b == nil {
+			continue
+		}
+		out = append(out, d.Speedup(b))
+	}
+	return out
+}
+
+// MPKIReductions collects per-app relative BTB-MPKI reductions.
+func (s *Suite) MPKIReductions(design, base string) []float64 {
+	var out []float64
+	for _, a := range s.Apps {
+		d, b := a.Results[design], a.Results[base]
+		if d == nil || b == nil {
+			continue
+		}
+		out = append(out, d.MPKIReduction(b))
+	}
+	return out
+}
+
+// ByCategory groups app indices per category.
+func (s *Suite) ByCategory() map[workload.Category][]int {
+	out := make(map[workload.Category][]int)
+	for i, a := range s.Apps {
+		out[a.App.Category] = append(out[a.App.Category], i)
+	}
+	for _, idx := range out {
+		sort.Ints(idx)
+	}
+	return out
+}

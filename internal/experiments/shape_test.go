@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pdede"
+)
+
+// TestPaperShapeClaims asserts, on a moderate suite, every qualitative claim
+// EXPERIMENTS.md documents: the orderings, signs and crossovers that define
+// a successful reproduction. Failures here mean the reproduction story is
+// broken even if every unit test passes.
+func TestPaperShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-design suite")
+	}
+	r := NewRunner(Options{Apps: 10, TotalInstrs: 1_500_000, WarmupInstrs: 600_000})
+
+	deeper := core.Icelake().Scale(2)
+	scaledDesigns := []Design{
+		WithParams(BaselineDesign("baseline-x2", 4096), "baseline-x2", deeper),
+		WithParams(PDedeDesign("pdede-me-x2", pdede.MultiEntryConfig()), "pdede-me-x2", deeper),
+	}
+	designs := append(AblationDesigns(), ShotgunDesigns()[1:]...) // skip duplicate baseline
+	designs = append(designs,
+		BaselineDesign(NameBaseline8K, 8192),
+		PDedeDesign("pdede-me-16k", pdede.ScaledFromBaseline(16384, pdede.MultiEntry)),
+	)
+	designs = append(designs, scaledDesigns...)
+
+	suite, err := r.Run(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := func(d string) float64 {
+		return metrics.GeoMeanSpeedup(suite.Gains(d, NameBaseline))
+	}
+	red := func(d string) float64 {
+		return metrics.Mean(suite.MPKIReductions(d, NameBaseline))
+	}
+
+	// Fig 10: variant ordering, positive gains, meaningful MPKI reductions.
+	gDef, gMT, gME := gain(NamePDede), gain(NameMultiTarget), gain(NameMultiEntry)
+	if !(gDef > 0 && gMT >= gDef-0.003 && gME >= gMT) {
+		t.Errorf("fig10 ordering broken: default=%v mt=%v me=%v", gDef, gMT, gME)
+	}
+	if red(NameMultiEntry) < 0.30 {
+		t.Errorf("fig10: ME MPKI reduction %v below 30%%", red(NameMultiEntry))
+	}
+
+	// Fig 11a: dedup-only is marginal; partitioning is the big step; delta
+	// adds on top.
+	if gain(NameDedup) > gDef {
+		t.Errorf("fig11a: dedup-only (%v) outperformed full PDede (%v)", gain(NameDedup), gDef)
+	}
+	if gain(NamePartition) < gain(NameDedup) {
+		t.Errorf("fig11a: partitioning (%v) did not improve on dedup-only (%v)",
+			gain(NamePartition), gain(NameDedup))
+	}
+	if gDef < gain(NamePartition)-0.005 {
+		t.Errorf("fig11a: delta encoding regressed partitioning: %v vs %v", gDef, gain(NamePartition))
+	}
+
+	// Fig 12a: Shotgun trails PDede decisively at iso-storage.
+	if gain(NameShotgun) > gME-0.01 {
+		t.Errorf("fig12a: shotgun (%v) too close to PDede-ME (%v)", gain(NameShotgun), gME)
+	}
+
+	// §5.8 shape: PDede-ME lands in the neighbourhood of a 2× baseline.
+	if g8 := gain(NameBaseline8K); gME < g8-0.03 {
+		t.Errorf("fig12b shape: ME (%v) far below the 8K baseline (%v)", gME, g8)
+	}
+
+	// §5.11: a deeper pipeline amplifies PDede's gain.
+	gx2 := metrics.GeoMeanSpeedup(suite.Gains("pdede-me-x2", "baseline-x2"))
+	if gx2 <= gME {
+		t.Errorf("sec511: 2x pipeline gain %v not above 1x gain %v", gx2, gME)
+	}
+
+	// Iso-MPKI direction (fig12c): a PDede scaled for a 16K baseline must
+	// crush the 4K baseline's MPKI (it has ~4x the entries).
+	if r16 := red("pdede-me-16k"); r16 < red(NameMultiEntry) {
+		t.Errorf("fig12c: bigger PDede (%v) reduced MPKI less than iso PDede (%v)",
+			r16, red(NameMultiEntry))
+	}
+
+	t.Log(fmt.Sprintf("gains: dedup=%+.3f partition=%+.3f default=%+.3f mt=%+.3f me=%+.3f shotgun=%+.3f 8k=%+.3f x2=%+.3f",
+		gain(NameDedup), gain(NamePartition), gDef, gMT, gME, gain(NameShotgun), gain(NameBaseline8K), gx2))
+}

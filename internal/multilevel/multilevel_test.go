@@ -1,0 +1,128 @@
+package multilevel
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/pdede"
+)
+
+func taken(pc, target addr.VA) isa.Branch {
+	return isa.Branch{PC: pc, Target: target, BlockLen: 4, Kind: isa.UncondDirect, Taken: true}
+}
+
+func mk(t *testing.T, l0Entries int) *TwoLevel {
+	t.Helper()
+	l0, err := btb.NewBaseline(btb.BaselineConfig{Entries: l0Entries, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(l0, l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestNewRequiresLevels(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil levels accepted")
+	}
+}
+
+func TestL0HitIsFree(t *testing.T) {
+	tl := mk(t, 256)
+	pc := addr.Build(1, 2, 0x100)
+	tgt := addr.Build(3, 4, 0x40)
+	tl.Update(taken(pc, tgt), btb.Lookup{})
+	l := tl.Lookup(pc)
+	if !l.Hit || l.Target != tgt {
+		t.Fatalf("lookup = %+v", l)
+	}
+	if l.ExtraLatency != 0 {
+		t.Errorf("L0 hit extra = %d, want 0", l.ExtraLatency)
+	}
+}
+
+func TestL1HitCostsCycleAndPromotes(t *testing.T) {
+	tl := mk(t, 64)
+	// Fill L0 far beyond capacity so early PCs fall out of L0 but stay in L1.
+	var pcs []addr.VA
+	for i := 0; i < 600; i++ {
+		pc := addr.Build(1, uint64(i), 0x10)
+		pcs = append(pcs, pc)
+		tl.Update(taken(pc, addr.Build(2, uint64(i), 0x20)), btb.Lookup{})
+	}
+	// Find a PC that misses L0 but hits L1.
+	var found bool
+	for _, pc := range pcs {
+		if tl.l0.Lookup(pc).Hit {
+			continue
+		}
+		l := tl.Lookup(pc)
+		if !l.Hit {
+			continue
+		}
+		found = true
+		if l.ExtraLatency != 1 {
+			t.Errorf("L1 hit extra = %d, want 1", l.ExtraLatency)
+		}
+		// Promotion: next lookup should hit L0 at zero extra.
+		if l2 := tl.Lookup(pc); !l2.Hit || l2.ExtraLatency != 0 {
+			t.Errorf("after promotion: %+v", l2)
+		}
+		break
+	}
+	if !found {
+		t.Fatal("no L0-miss/L1-hit PC found")
+	}
+}
+
+func TestPDedeAsL1(t *testing.T) {
+	l0, _ := btb.NewBaseline(btb.BaselineConfig{Entries: 64, Ways: 4})
+	l1, err := pdede.New(pdede.MultiEntryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := New(l0, l1)
+	pc := addr.Build(5, 9, 0x800)
+	tgt := addr.Build(7, 33, 0x2a0) // different page: PDede pointer path
+	tl.Update(taken(pc, tgt), btb.Lookup{})
+	// Evict from L0.
+	for i := 0; i < 400; i++ {
+		tl.Update(taken(addr.Build(1, uint64(i), 0), addr.Build(2, 0, 0x40)), btb.Lookup{})
+	}
+	if tl.l0.Lookup(pc).Hit {
+		t.Skip("pc unexpectedly still in L0")
+	}
+	l := tl.Lookup(pc)
+	if !l.Hit || l.Target != tgt {
+		t.Fatalf("lookup = %+v", l)
+	}
+	// L1 PDede pointer path (1) + L1 access (1) = 2 extra cycles.
+	if l.ExtraLatency != 2 {
+		t.Errorf("extra = %d, want 2", l.ExtraLatency)
+	}
+}
+
+func TestStorageAndReset(t *testing.T) {
+	tl := mk(t, 256)
+	if tl.StorageBits() != tl.l0.StorageBits()+tl.l1.StorageBits() {
+		t.Error("storage not additive")
+	}
+	pc := addr.Build(1, 2, 0x100)
+	tl.Update(taken(pc, addr.Build(1, 2, 4)), btb.Lookup{})
+	tl.Reset()
+	if tl.Lookup(pc).Hit {
+		t.Error("hit after reset")
+	}
+	if tl.Name() == "" {
+		t.Error("empty name")
+	}
+}

@@ -1,0 +1,75 @@
+package pdede
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+)
+
+// A deeper Last-register ring plants NT offsets into more predecessors: with
+// depth 2, the branch two steps back also learns the current offset.
+func TestNTRingDepthTwo(t *testing.T) {
+	cfg := MultiTargetConfig()
+	cfg.NTLastRegisters = 2
+	p := mustNew(t, cfg)
+
+	pcA := addr.Build(5, 9, 0x100)
+	pcB := addr.Build(5, 9, 0x180)
+	pcC := addr.Build(5, 9, 0x240)
+	tgt := func(pc addr.VA, off uint64) addr.VA { return pc.WithOffset(off) }
+
+	// Train A, B, C in sequence (all same-page).
+	p.Update(taken(pcA, tgt(pcA, 0x300)), btb.Lookup{})
+	p.Update(taken(pcB, tgt(pcB, 0x400)), btb.Lookup{})
+	p.Update(taken(pcC, tgt(pcC, 0x500)), btb.Lookup{})
+
+	// With depth 2, C's offset was planted into BOTH A and B. A hit on A
+	// must arm the register with C's offset (the latest plant wins).
+	if l := p.Lookup(pcA); !l.Hit {
+		t.Fatal("A missing")
+	}
+	miss := addr.Build(5, 9, 0x800)
+	l := p.Lookup(miss)
+	if !l.Hit || l.Target != miss.WithOffset(0x500) {
+		t.Errorf("depth-2 ring did not serve C's offset via A: %+v", l)
+	}
+
+	// Depth 1 plants only into the immediate predecessor: a hit on A must
+	// NOT arm the register with anything (A only ever preceded B... wait —
+	// with depth 1, after training C the only planted entry is B).
+	p1 := mustNew(t, MultiTargetConfig())
+	p1.Update(taken(pcA, tgt(pcA, 0x300)), btb.Lookup{})
+	p1.Update(taken(pcB, tgt(pcB, 0x400)), btb.Lookup{})
+	p1.Update(taken(pcC, tgt(pcC, 0x500)), btb.Lookup{})
+	p1.Lookup(pcA) // A carries B's offset (planted when B trained)
+	l = p1.Lookup(miss)
+	if !l.Hit || l.Target != miss.WithOffset(0x400) {
+		t.Errorf("depth-1 A should carry B's offset: %+v", l)
+	}
+}
+
+func TestNTRingBrokenByDifferentPage(t *testing.T) {
+	cfg := MultiTargetConfig()
+	cfg.NTLastRegisters = 2
+	p := mustNew(t, cfg)
+	pcA := addr.Build(5, 9, 0x100)
+	p.Update(taken(pcA, pcA.WithOffset(0x300)), btb.Lookup{})
+	// Different-page branch clears the ring.
+	p.Update(taken(addr.Build(5, 10, 0x40), addr.Build(7, 3, 0x20)), btb.Lookup{})
+	// The next same-page branch must not plant into A.
+	pcB := addr.Build(5, 9, 0x180)
+	p.Update(taken(pcB, pcB.WithOffset(0x400)), btb.Lookup{})
+	p.Lookup(pcA)
+	if l := p.Lookup(addr.Build(5, 9, 0x900)); l.Hit {
+		t.Errorf("NT planted across a different-page break: %+v", l)
+	}
+}
+
+func TestNTConfigValidation(t *testing.T) {
+	cfg := MultiTargetConfig()
+	cfg.NTLastRegisters = 9
+	if cfg.Validate() == nil {
+		t.Error("ring depth 9 accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package pdede
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// Property: under arbitrary update/lookup interleavings, PDede never
+// panics, and any delta-served prediction lies in the probed PC's page.
+func TestRandomStreamInvariants(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), MultiTargetConfig(), MultiEntryConfig()} {
+		p := mustNew(t, cfg)
+		f := func(seed uint64, steps uint16) bool {
+			r := rng.New(seed)
+			for i := 0; i < int(steps)%500+50; i++ {
+				pc := addr.Build(uint64(r.Intn(8)), uint64(r.Intn(64)), uint64(r.Intn(1024))*4)
+				if r.Bool(0.5) {
+					var target addr.VA
+					if r.Bool(0.6) {
+						target = pc.WithOffset(uint64(r.Intn(1024)) * 4)
+					} else {
+						target = addr.Build(uint64(r.Intn(8)), uint64(r.Intn(64)), uint64(r.Intn(1024))*4)
+					}
+					kind := isa.UncondDirect
+					if r.Bool(0.3) {
+						kind = isa.IndirectJump
+					}
+					p.Update(isa.Branch{PC: pc, Target: target, BlockLen: 4, Kind: kind, Taken: true}, btb.Lookup{})
+				} else {
+					l := p.Lookup(pc)
+					if l.Hit && l.ExtraLatency == 0 && !cfg.ExtraCycleAlways {
+						// Single-cycle hits are delta (or NT-register) served:
+						// their targets must share the PC's page.
+						if !l.Target.SamePage(pc) {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", cfg.Variant, err)
+		}
+	}
+}
+
+// Property: storage accounting is monotonic in BTBM capacity.
+func TestStorageMonotonic(t *testing.T) {
+	prev := uint64(0)
+	for _, sets := range []int{64, 128, 256, 512, 1024} {
+		cfg := DefaultConfig()
+		cfg.Sets = sets
+		p := mustNew(t, cfg)
+		if p.StorageBits() <= prev {
+			t.Fatalf("storage not monotonic at %d sets", sets)
+		}
+		prev = p.StorageBits()
+	}
+}
+
+// Property: after training a set of same-page branches that fits trivially,
+// every one of them predicts correctly (no false sharing between delta
+// entries).
+func TestDeltaEntriesIndependent(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	type pair struct{ pc, tgt addr.VA }
+	var pairs []pair
+	r := rng.New(99)
+	for i := 0; i < 300; i++ {
+		pc := addr.Build(3, uint64(i), uint64(r.Intn(512))*4)
+		tgt := pc.WithOffset(uint64(r.Intn(1024)) * 4)
+		pairs = append(pairs, pair{pc, tgt})
+		p.Update(taken(pc, tgt), btb.Lookup{})
+	}
+	for _, pr := range pairs {
+		l := p.Lookup(pr.pc)
+		if !l.Hit || l.Target != pr.tgt {
+			t.Fatalf("pc %v lost its delta target: %+v", pr.pc, l)
+		}
+	}
+}
+
+// Property: dedup means the number of live page entries never exceeds the
+// number of distinct pages trained.
+func TestPageTableNeverOverAllocates(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	distinct := map[uint64]bool{}
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		pc := addr.Build(1, uint64(i%700), 128)
+		tgt := addr.Build(2, uint64(r.Intn(40)), 64) // ≤40 distinct pages
+		distinct[tgt.Page()] = true
+		p.Update(taken(pc, tgt), btb.Lookup{})
+	}
+	live := 0
+	for i := 0; i < p.pages.Entries(); i++ {
+		if _, ok := p.pages.Get(i); ok {
+			live++
+		}
+	}
+	if live > len(distinct) {
+		t.Errorf("live page entries %d exceed distinct pages %d", live, len(distinct))
+	}
+}
+
+// The §4.4.2 anecdote: stale pointers are rare in steady state. Train a
+// stable working set and count wrong predictions caused by table churn.
+func TestStaleRateSmallInSteadyState(t *testing.T) {
+	p := mustNew(t, DefaultConfig())
+	r := rng.New(11)
+	var lookups, wrong int
+	type site struct{ pc, tgt addr.VA }
+	// Paper-shaped population: unique target pages ≈ 5% of branches
+	// (Fig 7), comfortably inside the 1K-entry Page-BTB.
+	sites := make([]site, 3000)
+	for i := range sites {
+		pc := addr.Build(uint64(1+i%3), uint64(i/4), uint64(i%4)*1024)
+		tgt := addr.Build(uint64(1+r.Intn(3)), uint64(r.Intn(50)), uint64(r.Intn(64))*64)
+		sites[i] = site{pc, tgt}
+	}
+	for step := 0; step < 60000; step++ {
+		s := sites[r.Intn(len(sites))]
+		l := p.Lookup(s.pc)
+		if step > 30000 {
+			lookups++
+			if l.Hit && l.Target != s.tgt {
+				wrong++
+			}
+		}
+		p.Update(taken(s.pc, s.tgt), btb.Lookup{})
+	}
+	if rate := float64(wrong) / float64(lookups); rate > 0.02 {
+		t.Errorf("wrong-target rate %v in steady state (paper: 0.06%% stale events)", rate)
+	}
+}

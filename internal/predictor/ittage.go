@@ -1,0 +1,233 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// ITTAGE predicts indirect branch targets (Seznec, "A 64-Kbytes ITTAGE
+// indirect branch predictor", §5.6 of the paper). Like TAGE, tagged tables
+// are indexed with geometric global-history lengths, but entries hold full
+// targets; the longest matching table provides the prediction and a base
+// table indexed by PC catches the monomorphic majority.
+type ITTAGE struct {
+	baseTgt   []addr.VA
+	baseValid []bool
+	baseMask  uint64
+
+	tables []ittageTable
+	ghist  [8]uint64
+
+	provTable int
+	provIdx   int
+}
+
+type ittageTable struct {
+	histLen int
+	idxBits uint
+	tagBits uint
+	tag     []uint16
+	target  []addr.VA
+	conf    []uint8 // 2-bit confidence
+	useful  []uint8
+	valid   []bool
+}
+
+// ITTAGEConfig sizes the predictor.
+type ITTAGEConfig struct {
+	BaseEntries  int
+	TableEntries int
+	HistLens     []int
+	TagBits      uint
+}
+
+// Default64KBConfig approximates the paper's 64 KB ITTAGE budget: the
+// storage is dominated by the 57-bit targets in the tagged tables.
+func Default64KBConfig() ITTAGEConfig {
+	return ITTAGEConfig{
+		BaseEntries:  1024,
+		TableEntries: 1024,
+		HistLens:     []int{4, 8, 16, 32, 64, 128},
+		TagBits:      9,
+	}
+}
+
+// NewITTAGE builds the predictor.
+func NewITTAGE(cfg ITTAGEConfig) (*ITTAGE, error) {
+	if cfg.BaseEntries <= 0 || cfg.BaseEntries&(cfg.BaseEntries-1) != 0 {
+		return nil, fmt.Errorf("predictor: ittage base entries %d not a power of two", cfg.BaseEntries)
+	}
+	if cfg.TableEntries <= 0 || cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		return nil, fmt.Errorf("predictor: ittage table entries %d not a power of two", cfg.TableEntries)
+	}
+	if len(cfg.HistLens) == 0 {
+		return nil, fmt.Errorf("predictor: ittage needs history lengths")
+	}
+	it := &ITTAGE{
+		baseTgt:   make([]addr.VA, cfg.BaseEntries),
+		baseValid: make([]bool, cfg.BaseEntries),
+		baseMask:  uint64(cfg.BaseEntries - 1),
+		provTable: -1,
+	}
+	idxBits := uint(0)
+	for n := cfg.TableEntries; n > 1; n >>= 1 {
+		idxBits++
+	}
+	prev := 0
+	for _, hl := range cfg.HistLens {
+		if hl <= prev || hl > 512 {
+			return nil, fmt.Errorf("predictor: ittage history lengths must increase and stay ≤512")
+		}
+		prev = hl
+		it.tables = append(it.tables, ittageTable{
+			histLen: hl,
+			idxBits: idxBits,
+			tagBits: cfg.TagBits,
+			tag:     make([]uint16, cfg.TableEntries),
+			target:  make([]addr.VA, cfg.TableEntries),
+			conf:    make([]uint8, cfg.TableEntries),
+			useful:  make([]uint8, cfg.TableEntries),
+			valid:   make([]bool, cfg.TableEntries),
+		})
+	}
+	return it, nil
+}
+
+func (it *ITTAGE) foldHist(histLen int, width uint) uint64 {
+	var out uint64
+	bitsLeft := histLen
+	word := 0
+	for bitsLeft > 0 {
+		take := bitsLeft
+		if take > 64 {
+			take = 64
+		}
+		chunk := it.ghist[word]
+		if take < 64 {
+			chunk &= (1 << uint(take)) - 1
+		}
+		out ^= chunk
+		bitsLeft -= take
+		word++
+	}
+	return addr.Fold(out, width)
+}
+
+func (it *ITTAGE) index(tb *ittageTable, pc addr.VA) int {
+	h := addr.Mix64(uint64(pc)>>1) ^ it.foldHist(tb.histLen, tb.idxBits)
+	return int(h & ((1 << tb.idxBits) - 1))
+}
+
+func (it *ITTAGE) tagOf(tb *ittageTable, pc addr.VA) uint16 {
+	h := addr.Mix64(uint64(pc)>>1+0x7f4a7c15) ^ it.foldHist(tb.histLen, tb.tagBits)
+	return uint16(h & ((1 << tb.tagBits) - 1))
+}
+
+// Predict returns the predicted target for an indirect branch, if any.
+func (it *ITTAGE) Predict(pc addr.VA) (addr.VA, bool) {
+	it.provTable = -1
+	var target addr.VA
+	ok := false
+	bi := int(addr.Mix64(uint64(pc)>>1) & it.baseMask)
+	if it.baseValid[bi] {
+		target, ok = it.baseTgt[bi], true
+	}
+	for i := range it.tables {
+		tb := &it.tables[i]
+		idx := it.index(tb, pc)
+		if tb.valid[idx] && tb.tag[idx] == it.tagOf(tb, pc) {
+			it.provTable = i
+			it.provIdx = idx
+			target, ok = tb.target[idx], true
+		}
+	}
+	return target, ok
+}
+
+// Update trains the predictor with the resolved target. Call right after
+// Predict for the same branch.
+func (it *ITTAGE) Update(pc addr.VA, target addr.VA) {
+	correct := false
+	if it.provTable >= 0 {
+		tb := &it.tables[it.provTable]
+		correct = tb.target[it.provIdx] == target
+		if correct {
+			if tb.conf[it.provIdx] < 3 {
+				tb.conf[it.provIdx]++
+			}
+			if tb.useful[it.provIdx] < 3 {
+				tb.useful[it.provIdx]++
+			}
+		} else {
+			if tb.conf[it.provIdx] > 0 {
+				tb.conf[it.provIdx]--
+			} else {
+				tb.target[it.provIdx] = target
+			}
+			if tb.useful[it.provIdx] > 0 {
+				tb.useful[it.provIdx]--
+			}
+		}
+	} else {
+		bi := int(addr.Mix64(uint64(pc)>>1) & it.baseMask)
+		correct = it.baseValid[bi] && it.baseTgt[bi] == target
+		it.baseTgt[bi] = target
+		it.baseValid[bi] = true
+	}
+
+	if !correct && it.provTable < len(it.tables)-1 {
+		for i := it.provTable + 1; i < len(it.tables); i++ {
+			tb := &it.tables[i]
+			idx := it.index(tb, pc)
+			if !tb.valid[idx] || tb.useful[idx] == 0 {
+				tb.valid[idx] = true
+				tb.tag[idx] = it.tagOf(tb, pc)
+				tb.target[idx] = target
+				tb.conf[idx] = 0
+				tb.useful[idx] = 0
+				break
+			}
+		}
+	}
+}
+
+// Observe shifts a resolved branch direction into the global history.
+// The core calls it for every branch so history reflects the path.
+func (it *ITTAGE) Observe(taken bool) {
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := 0; i < len(it.ghist); i++ {
+		next := it.ghist[i] >> 63
+		it.ghist[i] = it.ghist[i]<<1 | carry
+		carry = next
+	}
+}
+
+// StorageBits reports the predictor's storage.
+func (it *ITTAGE) StorageBits() uint64 {
+	bits := uint64(len(it.baseTgt)) * (57 + 1)
+	for i := range it.tables {
+		tb := &it.tables[i]
+		per := uint64(tb.tagBits) + 57 + 2 + 2 + 1
+		bits += uint64(len(tb.tag)) * per
+	}
+	return bits + 512
+}
+
+// Reset clears all state.
+func (it *ITTAGE) Reset() {
+	for i := range it.baseValid {
+		it.baseValid[i] = false
+	}
+	for i := range it.tables {
+		tb := &it.tables[i]
+		for j := range tb.valid {
+			tb.valid[j] = false
+		}
+	}
+	it.ghist = [8]uint64{}
+	it.provTable = -1
+}

@@ -1,0 +1,239 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// TAGE is a compact TAGE direction predictor (Seznec): a bimodal base table
+// plus tagged tables indexed with geometrically increasing global-history
+// lengths. The longest-history matching table provides the prediction;
+// mispredictions allocate into a longer table. This is the "TAGE-like"
+// predictor of the paper's Icelake-ish core (Table 3).
+type TAGE struct {
+	base *Bimodal
+
+	tables []tageTable
+	ghist  [8]uint64 // 512 bits of global history, shifted as a unit
+
+	// provider bookkeeping between Predict and Update
+	provTable int // -1 = base
+	provIdx   int
+	altPred   bool
+}
+
+type tageTable struct {
+	histLen int
+	idxBits uint
+	tagBits uint
+	tag     []uint16
+	ctr     []int8 // -4..3, taken when >= 0
+	useful  []uint8
+	valid   []bool
+}
+
+// TAGEConfig sizes the predictor.
+type TAGEConfig struct {
+	// BaseEntries sizes the bimodal base table (power of two).
+	BaseEntries int
+	// TableEntries sizes each tagged table (power of two).
+	TableEntries int
+	// HistLens are the geometric history lengths, shortest first.
+	HistLens []int
+	// TagBits is the tag width of the tagged tables.
+	TagBits uint
+}
+
+// DefaultTAGEConfig is a 4-table, ~8 KiB configuration adequate for the
+// synthetic workloads' conditional behaviour.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BaseEntries:  8192,
+		TableEntries: 2048,
+		HistLens:     []int{8, 16, 32, 64},
+		TagBits:      9,
+	}
+}
+
+// NewTAGE builds the predictor.
+func NewTAGE(cfg TAGEConfig) (*TAGE, error) {
+	base, err := NewBimodal(cfg.BaseEntries)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TableEntries <= 0 || cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		return nil, fmt.Errorf("predictor: tage table entries %d not a power of two", cfg.TableEntries)
+	}
+	if len(cfg.HistLens) == 0 {
+		return nil, fmt.Errorf("predictor: tage needs at least one history length")
+	}
+	t := &TAGE{base: base, provTable: -1}
+	idxBits := uint(0)
+	for n := cfg.TableEntries; n > 1; n >>= 1 {
+		idxBits++
+	}
+	prev := 0
+	for _, hl := range cfg.HistLens {
+		if hl <= prev || hl > 512 {
+			return nil, fmt.Errorf("predictor: tage history lengths must increase and stay ≤512")
+		}
+		prev = hl
+		t.tables = append(t.tables, tageTable{
+			histLen: hl,
+			idxBits: idxBits,
+			tagBits: cfg.TagBits,
+			tag:     make([]uint16, cfg.TableEntries),
+			ctr:     make([]int8, cfg.TableEntries),
+			useful:  make([]uint8, cfg.TableEntries),
+			valid:   make([]bool, cfg.TableEntries),
+		})
+	}
+	return t, nil
+}
+
+func (t *TAGE) Name() string { return "tage" }
+
+// foldHist compresses the low histLen history bits into width bits.
+func (t *TAGE) foldHist(histLen int, width uint) uint64 {
+	var out uint64
+	bitsLeft := histLen
+	word := 0
+	for bitsLeft > 0 {
+		take := bitsLeft
+		if take > 64 {
+			take = 64
+		}
+		chunk := t.ghist[word]
+		if take < 64 {
+			chunk &= (1 << uint(take)) - 1
+		}
+		out ^= chunk
+		bitsLeft -= take
+		word++
+	}
+	return addr.Fold(out, width)
+}
+
+func (t *TAGE) index(tb *tageTable, pc addr.VA) int {
+	h := addr.Mix64(uint64(pc)>>1) ^ t.foldHist(tb.histLen, tb.idxBits)
+	return int(h & ((1 << tb.idxBits) - 1))
+}
+
+func (t *TAGE) tagOf(tb *tageTable, pc addr.VA) uint16 {
+	h := addr.Mix64(uint64(pc)>>1+0x9e3779b9) ^ t.foldHist(tb.histLen, tb.tagBits)
+	return uint16(h & ((1 << tb.tagBits) - 1))
+}
+
+// Predict implements Direction.
+func (t *TAGE) Predict(pc addr.VA) bool {
+	t.provTable = -1
+	pred := t.base.Predict(pc)
+	t.altPred = pred
+	for i := range t.tables {
+		tb := &t.tables[i]
+		idx := t.index(tb, pc)
+		if tb.valid[idx] && tb.tag[idx] == t.tagOf(tb, pc) {
+			t.altPred = pred
+			t.provTable = i
+			t.provIdx = idx
+			pred = tb.ctr[idx] >= 0
+		}
+	}
+	return pred
+}
+
+// Update implements Direction. It must be called right after Predict for
+// the same branch (standard sequential-predictor contract).
+func (t *TAGE) Update(pc addr.VA, taken bool) {
+	correct := true
+	if t.provTable >= 0 {
+		tb := &t.tables[t.provTable]
+		correct = (tb.ctr[t.provIdx] >= 0) == taken
+		// Train provider counter.
+		if taken && tb.ctr[t.provIdx] < 3 {
+			tb.ctr[t.provIdx]++
+		}
+		if !taken && tb.ctr[t.provIdx] > -4 {
+			tb.ctr[t.provIdx]--
+		}
+		// Usefulness: provider agreed with outcome and alt did not.
+		if correct && t.altPred != taken && tb.useful[t.provIdx] < 3 {
+			tb.useful[t.provIdx]++
+		}
+		if !correct && tb.useful[t.provIdx] > 0 {
+			tb.useful[t.provIdx]--
+		}
+	} else {
+		correct = t.base.Predict(pc) == taken
+		t.base.Update(pc, taken)
+	}
+
+	// Allocate in a longer-history table on a misprediction.
+	if !correct && t.provTable < len(t.tables)-1 {
+		allocated := false
+		for i := t.provTable + 1; i < len(t.tables) && !allocated; i++ {
+			tb := &t.tables[i]
+			idx := t.index(tb, pc)
+			if !tb.valid[idx] || tb.useful[idx] == 0 {
+				tb.valid[idx] = true
+				tb.tag[idx] = t.tagOf(tb, pc)
+				if taken {
+					tb.ctr[idx] = 0
+				} else {
+					tb.ctr[idx] = -1
+				}
+				tb.useful[idx] = 0
+				allocated = true
+			}
+		}
+		if !allocated {
+			// Decay usefulness along the allocation path.
+			for i := t.provTable + 1; i < len(t.tables); i++ {
+				tb := &t.tables[i]
+				idx := t.index(tb, pc)
+				if tb.useful[idx] > 0 {
+					tb.useful[idx]--
+				}
+			}
+		}
+	}
+
+	// Shift global history.
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := 0; i < len(t.ghist); i++ {
+		next := t.ghist[i] >> 63
+		t.ghist[i] = t.ghist[i]<<1 | carry
+		carry = next
+	}
+}
+
+// StorageBits implements Direction.
+func (t *TAGE) StorageBits() uint64 {
+	bits := t.base.StorageBits() + 512
+	for i := range t.tables {
+		tb := &t.tables[i]
+		per := uint64(tb.tagBits) + 3 + 2 + 1 // tag + ctr + useful + valid
+		bits += uint64(len(tb.tag)) * per
+	}
+	return bits
+}
+
+// Reset implements Direction.
+func (t *TAGE) Reset() {
+	t.base.Reset()
+	for i := range t.tables {
+		tb := &t.tables[i]
+		for j := range tb.valid {
+			tb.valid[j] = false
+			tb.tag[j] = 0
+			tb.ctr[j] = 0
+			tb.useful[j] = 0
+		}
+	}
+	t.ghist = [8]uint64{}
+	t.provTable = -1
+}

@@ -1,0 +1,182 @@
+// Package shotgun implements a simplified Shotgun-style BTB (Kumar, Grot,
+// Nagarajan — ASPLOS'18), the state-of-the-art comparison point of the
+// paper's §5.10.
+//
+// Shotgun splits the BTB by branch kind: a uBTB holds unconditional
+// branches (the skeleton of the control-flow graph) and a CBTB holds
+// conditional branches. On a uBTB hit, the conditional branches in the
+// spatial region around the unconditional's target are prefetched into the
+// CBTB from block-grained metadata (which Shotgun virtualizes into the
+// memory hierarchy; modelled here as an unbounded shadow map, which is
+// generous to Shotgun).
+//
+// The paper identifies two structural reasons Shotgun trails PDede at
+// iso-storage, both reproduced by this model: the CBTB must capture taken
+// *and* not-taken conditionals (halving its effective capacity for the
+// PC-indexed-baseline's purposes), and prefetching only covers conditionals
+// near a recently-hit unconditional.
+package shotgun
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+)
+
+// blockShift groups PCs into 128-byte metadata blocks.
+const blockShift = 7
+
+// Config sizes the design.
+type Config struct {
+	// UBTBEntries/UBTBWays size the unconditional-branch BTB.
+	UBTBEntries int
+	UBTBWays    int
+	// CBTBEntries/CBTBWays size the conditional-branch BTB.
+	CBTBEntries int
+	CBTBWays    int
+	// PrefetchBlocks is how many 128B blocks after an unconditional's
+	// target are prefetched into the CBTB.
+	PrefetchBlocks int
+	// MaxPerBlock bounds the conditionals remembered per metadata block.
+	MaxPerBlock int
+}
+
+// DefaultConfig approximates iso-storage with the 37.5 KiB baseline:
+// 2048-entry uBTB (+16b footprint metadata per entry) and a 1280-entry CBTB.
+func DefaultConfig() Config {
+	return Config{
+		UBTBEntries: 2048, UBTBWays: 8,
+		CBTBEntries: 1280, CBTBWays: 5,
+		PrefetchBlocks: 4,
+		MaxPerBlock:    8,
+	}
+}
+
+// ScaledConfig grows the structures toward a total byte budget (the §5.10
+// sweep evaluates Shotgun up to 45 KB).
+func ScaledConfig(totalKB int) Config {
+	c := DefaultConfig()
+	if totalKB >= 45 {
+		c.UBTBEntries, c.UBTBWays = 2560, 10
+		c.CBTBEntries, c.CBTBWays = 1536, 6
+	}
+	return c
+}
+
+type condInfo struct {
+	pc     addr.VA
+	target addr.VA
+}
+
+// Shotgun implements btb.TargetPredictor.
+type Shotgun struct {
+	cfg  Config
+	ubtb *btb.Baseline
+	cbtb *btb.Baseline
+
+	// meta is the block-grained conditional-branch metadata that Shotgun
+	// virtualizes into the cache hierarchy. Unbounded: generous to Shotgun.
+	meta map[uint64][]condInfo
+}
+
+// New builds the design.
+func New(cfg Config) (*Shotgun, error) {
+	u, err := btb.NewBaseline(btb.BaselineConfig{Entries: cfg.UBTBEntries, Ways: cfg.UBTBWays})
+	if err != nil {
+		return nil, fmt.Errorf("shotgun: ubtb: %w", err)
+	}
+	c, err := btb.NewBaseline(btb.BaselineConfig{Entries: cfg.CBTBEntries, Ways: cfg.CBTBWays})
+	if err != nil {
+		return nil, fmt.Errorf("shotgun: cbtb: %w", err)
+	}
+	if cfg.PrefetchBlocks < 0 || cfg.MaxPerBlock <= 0 {
+		return nil, fmt.Errorf("shotgun: bad prefetch parameters")
+	}
+	return &Shotgun{cfg: cfg, ubtb: u, cbtb: c, meta: make(map[uint64][]condInfo)}, nil
+}
+
+// Name implements btb.TargetPredictor.
+func (s *Shotgun) Name() string { return "shotgun" }
+
+// Lookup implements btb.TargetPredictor. The uBTB is probed first (it
+// anchors the control-flow skeleton); a hit triggers prefetching of the
+// conditional branches around the target into the CBTB.
+func (s *Shotgun) Lookup(pc addr.VA) btb.Lookup {
+	if l := s.ubtb.Lookup(pc); l.Hit {
+		s.prefetchAround(l.Target)
+		return l
+	}
+	return s.cbtb.Lookup(pc)
+}
+
+// prefetchAround installs the recorded conditionals of the blocks following
+// target into the CBTB.
+func (s *Shotgun) prefetchAround(target addr.VA) {
+	base := uint64(target) >> blockShift
+	for b := uint64(0); b <= uint64(s.cfg.PrefetchBlocks); b++ {
+		for _, ci := range s.meta[base+b] {
+			if l := s.cbtb.Lookup(ci.pc); l.Hit {
+				continue
+			}
+			s.cbtb.Update(isa.Branch{
+				PC:       ci.pc,
+				Target:   ci.target,
+				BlockLen: 1,
+				Kind:     isa.UncondDirect, // install unconditionally
+				Taken:    true,
+			}, btb.Lookup{})
+		}
+	}
+}
+
+// Update implements btb.TargetPredictor. Conditionals train the CBTB and
+// the block metadata whether or not they were taken (Shotgun's CBTB tracks
+// both, which is one of its §5.10 weaknesses); other branches train the
+// uBTB.
+func (s *Shotgun) Update(b isa.Branch, prior btb.Lookup) {
+	if b.Kind.IsConditional() {
+		s.recordMeta(b)
+		forced := b
+		forced.Taken = true // occupy CBTB capacity even when not taken
+		s.cbtb.Update(forced, prior)
+		return
+	}
+	if b.Kind.IsReturn() {
+		return // served by the RSB, as in the paper's comparison
+	}
+	s.ubtb.Update(b, prior)
+}
+
+func (s *Shotgun) recordMeta(b isa.Branch) {
+	blk := uint64(b.PC) >> blockShift
+	lst := s.meta[blk]
+	for i := range lst {
+		if lst[i].pc == b.PC {
+			lst[i].target = b.Target
+			return
+		}
+	}
+	if len(lst) >= s.cfg.MaxPerBlock {
+		copy(lst, lst[1:])
+		lst[len(lst)-1] = condInfo{pc: b.PC, target: b.Target}
+		return
+	}
+	s.meta[blk] = append(lst, condInfo{pc: b.PC, target: b.Target})
+}
+
+// StorageBits implements btb.TargetPredictor: uBTB entries carry a 16-bit
+// footprint field in addition to the baseline layout. The block metadata is
+// virtualized into the memory hierarchy (not dedicated storage), as in the
+// original design.
+func (s *Shotgun) StorageBits() uint64 {
+	return s.ubtb.StorageBits() + uint64(s.cfg.UBTBEntries)*16 + s.cbtb.StorageBits()
+}
+
+// Reset implements btb.TargetPredictor.
+func (s *Shotgun) Reset() {
+	s.ubtb.Reset()
+	s.cbtb.Reset()
+	s.meta = make(map[uint64][]condInfo)
+}

@@ -1,0 +1,146 @@
+package shotgun
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+)
+
+func br(pc, target addr.VA, kind isa.Kind, taken bool) isa.Branch {
+	return isa.Branch{PC: pc, Target: target, BlockLen: 4, Kind: kind, Taken: taken}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.MaxPerBlock = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero MaxPerBlock accepted")
+	}
+	bad = DefaultConfig()
+	bad.UBTBEntries = 100
+	if _, err := New(bad); err == nil {
+		t.Error("invalid ubtb geometry accepted")
+	}
+}
+
+func TestKindRouting(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := addr.Build(1, 2, 0x100)
+	cond := addr.Build(1, 2, 0x200)
+	s.Update(br(call, addr.Build(3, 0, 0), isa.DirectCall, true), btb.Lookup{})
+	s.Update(br(cond, addr.Build(1, 2, 0x40), isa.CondDirect, true), btb.Lookup{})
+	if !s.ubtb.Lookup(call).Hit {
+		t.Error("call not in uBTB")
+	}
+	if s.cbtb.Lookup(call).Hit {
+		t.Error("call leaked into CBTB")
+	}
+	if !s.cbtb.Lookup(cond).Hit {
+		t.Error("conditional not in CBTB")
+	}
+	if s.ubtb.Lookup(cond).Hit {
+		t.Error("conditional leaked into uBTB")
+	}
+}
+
+func TestNotTakenConditionalsOccupyCBTB(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	pc := addr.Build(1, 2, 0x200)
+	s.Update(br(pc, addr.Build(1, 2, 0x40), isa.CondDirect, false), btb.Lookup{})
+	if !s.cbtb.Lookup(pc).Hit {
+		t.Error("not-taken conditional did not occupy CBTB (Shotgun stores both)")
+	}
+}
+
+func TestReturnsBypass(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	pc := addr.Build(1, 2, 0x300)
+	s.Update(br(pc, addr.Build(9, 0, 0), isa.Return, true), btb.Lookup{})
+	if s.Lookup(pc).Hit {
+		t.Error("return allocated (RSB should serve them)")
+	}
+}
+
+func TestPrefetchOnUBTBHit(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	callPC := addr.Build(1, 2, 0x100)
+	target := addr.Build(3, 5, 0x000)
+	condPC := target.Add(0x20) // conditional just after the call target
+	condTgt := target.Add(0x60)
+
+	// Teach the metadata about the conditional, then evict it from CBTB.
+	s.Update(br(condPC, condTgt, isa.CondDirect, true), btb.Lookup{})
+	s.cbtb.Reset()
+	if s.cbtb.Lookup(condPC).Hit {
+		t.Fatal("cbtb reset failed")
+	}
+
+	// Train the call, then a uBTB hit must prefetch the conditional back.
+	s.Update(br(callPC, target, isa.DirectCall, true), btb.Lookup{})
+	if l := s.Lookup(callPC); !l.Hit {
+		t.Fatal("uBTB miss after training")
+	}
+	if l := s.cbtb.Lookup(condPC); !l.Hit || l.Target != condTgt {
+		t.Errorf("prefetch did not install conditional: %+v", l)
+	}
+}
+
+func TestPrefetchWindowBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchBlocks = 1
+	s, _ := New(cfg)
+	target := addr.Build(3, 5, 0x000)
+	farCond := target.Add(0x800) // 16 blocks away: outside the window
+	s.Update(br(farCond, target.Add(0x840), isa.CondDirect, true), btb.Lookup{})
+	s.cbtb.Reset()
+	callPC := addr.Build(1, 2, 0x100)
+	s.Update(br(callPC, target, isa.DirectCall, true), btb.Lookup{})
+	s.Lookup(callPC)
+	if s.cbtb.Lookup(farCond).Hit {
+		t.Error("prefetch exceeded its window")
+	}
+}
+
+func TestMetaBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPerBlock = 4
+	s, _ := New(cfg)
+	blockBase := addr.Build(1, 2, 0)
+	for i := 0; i < 16; i++ {
+		s.Update(br(blockBase.Add(uint64(i)*4), blockBase.Add(0x400), isa.CondDirect, true), btb.Lookup{})
+	}
+	if got := len(s.meta[uint64(blockBase)>>blockShift]); got > 4 {
+		t.Errorf("meta grew to %d entries, cap 4", got)
+	}
+}
+
+func TestStorageNearBaseline(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	base, _ := btb.NewBaseline(btb.BaselineConfig{Entries: 4096})
+	ratio := float64(s.StorageBits()) / float64(base.StorageBits())
+	if ratio < 0.8 || ratio > 1.1 {
+		t.Errorf("shotgun storage ratio vs baseline = %.2f, want ≈1", ratio)
+	}
+	s45, _ := New(ScaledConfig(45))
+	if s45.StorageBits() <= s.StorageBits() {
+		t.Error("45KB config not larger than default")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	pc := addr.Build(1, 2, 0x100)
+	s.Update(br(pc, addr.Build(3, 0, 0), isa.DirectCall, true), btb.Lookup{})
+	s.Reset()
+	if s.Lookup(pc).Hit {
+		t.Error("hit after reset")
+	}
+	if len(s.meta) != 0 {
+		t.Error("meta survived reset")
+	}
+}

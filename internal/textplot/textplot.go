@@ -1,0 +1,111 @@
+// Package textplot renders small ASCII charts for the experiment reports:
+// horizontal bar charts for per-design comparisons and scatter strips for
+// time-series figures. Reports stay greppable plain text while still
+// conveying the *shape* a paper figure would.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters. Negative
+// values extend left of the axis. valueFmt formats the printed value
+// (e.g. "%+.1f%%").
+func BarChart(bars []Bar, width int, valueFmt string) string {
+	if len(bars) == 0 || width < 4 {
+		return ""
+	}
+	labelW := 0
+	maxAbs := 0.0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if a := math.Abs(b.Value); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		n := int(math.Round(math.Abs(b.Value) / maxAbs * float64(width)))
+		if n == 0 && b.Value != 0 {
+			n = 1
+		}
+		glyph := "█"
+		if b.Value < 0 {
+			glyph = "░"
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", labelW, b.Label,
+			strings.Repeat(glyph, n), fmt.Sprintf(valueFmt, b.Value))
+	}
+	return sb.String()
+}
+
+// Series renders a y-over-x strip chart of at most width columns and height
+// rows, downsampling x by averaging. Used for the Figure 5 style
+// region/page-over-time plots.
+func Series(ys []float64, width, height int) string {
+	if len(ys) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	// Downsample to width buckets by mean.
+	cols := make([]float64, 0, width)
+	per := float64(len(ys)) / float64(width)
+	if per < 1 {
+		per = 1
+	}
+	for start := 0.0; int(start) < len(ys) && len(cols) < width; start += per {
+		end := int(start + per)
+		if end > len(ys) {
+			end = len(ys)
+		}
+		sum, n := 0.0, 0
+		for i := int(start); i < end; i++ {
+			sum += ys[i]
+			n++
+		}
+		if n > 0 {
+			cols = append(cols, sum/float64(n))
+		}
+	}
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(cols)))
+	}
+	for c, v := range cols {
+		r := int((v - lo) / (hi - lo) * float64(height-1))
+		grid[height-1-r][c] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8.1f ┐\n", hi)
+	for _, row := range grid {
+		sb.WriteString("         │")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%8.1f ┴%s\n", lo, strings.Repeat("─", len(cols)))
+	return sb.String()
+}

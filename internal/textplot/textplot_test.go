@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart([]Bar{
+		{"pdede", 0.094},
+		{"pdede-me", 0.144},
+		{"dedup", -0.02},
+	}, 20, "%+.1f%%")
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+	// The largest value owns the longest bar.
+	if !strings.Contains(lines[1], strings.Repeat("█", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// Negative values render with the alternate glyph.
+	if !strings.Contains(lines[2], "░") {
+		t.Errorf("negative bar glyph missing:\n%s", out)
+	}
+	// Labels align.
+	if !strings.HasPrefix(lines[0], "pdede    ") {
+		t.Errorf("labels not padded:\n%s", out)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if BarChart(nil, 20, "%f") != "" {
+		t.Error("nil bars should render empty")
+	}
+	if BarChart([]Bar{{"a", 1}}, 2, "%f") != "" {
+		t.Error("tiny width should render empty")
+	}
+	// All zeros must not divide by zero.
+	if out := BarChart([]Bar{{"a", 0}, {"b", 0}}, 10, "%.0f"); out == "" {
+		t.Error("zero-valued chart vanished")
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	ys := make([]float64, 200)
+	for i := range ys {
+		ys[i] = float64(i % 50)
+	}
+	out := Series(ys, 40, 8)
+	if out == "" {
+		t.Fatal("empty series")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // hi label + 8 rows + axis
+		t.Fatalf("series has %d lines", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	if Series(nil, 40, 8) != "" {
+		t.Error("nil series should render empty")
+	}
+	if Series([]float64{1, 2}, 1, 8) != "" {
+		t.Error("width 1 should render empty")
+	}
+	// Constant series must not divide by zero.
+	if out := Series([]float64{5, 5, 5, 5}, 10, 4); out == "" {
+		t.Error("constant series vanished")
+	}
+}
+
+func TestSeriesShorterThanWidth(t *testing.T) {
+	out := Series([]float64{1, 5, 3}, 40, 4)
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("want 3 points:\n%s", out)
+	}
+}

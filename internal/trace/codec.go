@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// Binary trace format ("PDT1"):
+//
+//	header:  magic "PDT1", uvarint name length, name bytes
+//	records: per record —
+//	    byte   flags: bit0 taken, bits1-3 kind
+//	    uvarint blockLen
+//	    varint  pcDelta      (signed delta from previous record's PC)
+//	    varint  targetDelta  (signed delta from this record's PC)
+//	trailer: flags byte 0xFF marks end of stream
+//
+// Delta encoding keeps hot loops to a few bytes per record: branch PCs
+// revisit a small working set and targets are usually near their branch.
+const magic = "PDT1"
+
+const (
+	flagTaken   = 0x01
+	kindShift   = 1
+	endOfStream = 0xFF
+)
+
+// Write encodes a full trace to w.
+func Write(w io.Writer, name string, r Reader) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(name)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	var prevPC addr.VA
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		flags := byte(b.Kind) << kindShift
+		if b.Taken {
+			flags |= flagTaken
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(b.BlockLen))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutVarint(buf[:], int64(b.PC)-int64(prevPC))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutVarint(buf[:], int64(b.Target)-int64(b.PC))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevPC = b.PC
+	}
+	if err := bw.WriteByte(endOfStream); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decoder reads the binary trace format. It implements Reader.
+type Decoder struct {
+	br     *bufio.Reader
+	name   string
+	prevPC addr.VA
+	done   bool
+}
+
+// NewDecoder validates the header and returns a Decoder positioned at the
+// first record.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	return &Decoder{br: br, name: string(name)}, nil
+}
+
+// Name returns the trace name from the header.
+func (d *Decoder) Name() string { return d.name }
+
+// unexpectedEOF converts a mid-record EOF into io.ErrUnexpectedEOF so that
+// a truncated stream is never mistaken for a clean end of trace.
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next implements Reader.
+func (d *Decoder) Next() (isa.Branch, error) {
+	if d.done {
+		return isa.Branch{}, io.EOF
+	}
+	flags, err := d.br.ReadByte()
+	if err != nil {
+		return isa.Branch{}, fmt.Errorf("trace: truncated stream: %w", unexpectedEOF(err))
+	}
+	if flags == endOfStream {
+		d.done = true
+		return isa.Branch{}, io.EOF
+	}
+	kind := isa.Kind(flags >> kindShift)
+	if kind >= isa.NumKinds {
+		return isa.Branch{}, fmt.Errorf("trace: invalid kind %d", kind)
+	}
+	blockLen, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return isa.Branch{}, fmt.Errorf("trace: reading block length: %w", unexpectedEOF(err))
+	}
+	if blockLen == 0 || blockLen > 1<<16-1 {
+		return isa.Branch{}, fmt.Errorf("trace: invalid block length %d", blockLen)
+	}
+	pcDelta, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return isa.Branch{}, fmt.Errorf("trace: reading pc delta: %w", unexpectedEOF(err))
+	}
+	targetDelta, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return isa.Branch{}, fmt.Errorf("trace: reading target delta: %w", unexpectedEOF(err))
+	}
+	pc := addr.New(uint64(int64(d.prevPC) + pcDelta))
+	target := addr.New(uint64(int64(pc) + targetDelta))
+	d.prevPC = pc
+	return isa.Branch{
+		PC:       pc,
+		Target:   target,
+		BlockLen: uint16(blockLen),
+		Kind:     kind,
+		Taken:    flags&flagTaken != 0,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// The decoder must never panic on arbitrary input: it either errors or
+// terminates cleanly, regardless of what bytes it is fed.
+func TestDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			return true // rejected at header: fine
+		}
+		for i := 0; i < 10000; i++ {
+			if _, err := dec.Next(); err != nil {
+				return true
+			}
+		}
+		return true // absurdly long but valid stream: also fine
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Same with a valid header followed by random record bytes.
+func TestDecoderNeverPanicsWithValidHeader(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 300; trial++ {
+		var buf bytes.Buffer
+		buf.WriteString("PDT1")
+		buf.WriteByte(1)
+		buf.WriteByte('x')
+		n := r.Intn(64)
+		for i := 0; i < n; i++ {
+			buf.WriteByte(byte(r.Uint32()))
+		}
+		dec, err := NewDecoder(&buf)
+		if err != nil {
+			t.Fatalf("valid header rejected: %v", err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := dec.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// Limit and Skip must compose: skip W then limit M covers exactly the
+// window in the middle.
+func TestWindowComposition(t *testing.T) {
+	m := sampleTrace()
+	win := &Limit{R: &Skip{R: m.Open(), SkipInstrs: 5}, MaxInstrs: 7}
+	got, err := Collect("win", win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0 (5 instrs) covers the skip; records 1 (2) and 2 (5) cover
+	// the 7-instruction window.
+	if len(got.Records) != 2 || got.Records[0] != m.Records[1] {
+		t.Fatalf("window = %+v", got.Records)
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace defines the dynamic control-flow trace abstraction that
+// connects workload generation to the micro-architectural models, plus a
+// compact binary encoding for storing traces on disk.
+//
+// A trace is a stream of isa.Branch records. Simulators consume traces
+// through the Reader interface; anything that can replay itself from the
+// beginning (a file, an in-memory trace, a deterministic generator)
+// implements Source.
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Reader yields successive dynamic branch records. Next returns io.EOF when
+// the trace is exhausted.
+type Reader interface {
+	Next() (isa.Branch, error)
+}
+
+// Source produces fresh Readers over the same underlying trace. Simulation
+// methodology replays each application once per configuration, so sources
+// must be replayable and two Readers from one Source must yield identical
+// streams.
+type Source interface {
+	// Name identifies the trace (application name, file path, ...).
+	Name() string
+	// Open starts a fresh read of the trace from the beginning.
+	Open() Reader
+}
+
+// Memory is an in-memory trace. It implements Source.
+type Memory struct {
+	TraceName string
+	Records   []isa.Branch
+}
+
+// Name implements Source.
+func (m *Memory) Name() string { return m.TraceName }
+
+// Open implements Source.
+func (m *Memory) Open() Reader { return &memReader{records: m.Records} }
+
+// Instructions returns the total instruction count of the trace.
+func (m *Memory) Instructions() uint64 {
+	var n uint64
+	for _, b := range m.Records {
+		n += uint64(b.BlockLen)
+	}
+	return n
+}
+
+type memReader struct {
+	records []isa.Branch
+	pos     int
+}
+
+func (r *memReader) Next() (isa.Branch, error) {
+	if r.pos >= len(r.records) {
+		return isa.Branch{}, io.EOF
+	}
+	b := r.records[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// Collect drains a Reader into memory. It stops at io.EOF and propagates any
+// other error.
+func Collect(name string, r Reader) (*Memory, error) {
+	var recs []isa.Branch
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return &Memory{TraceName: name, Records: recs}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, b)
+	}
+}
+
+// Limit wraps a Reader, ending the stream after the record that crosses
+// maxInstrs total instructions. A zero maxInstrs means no limit.
+type Limit struct {
+	R         Reader
+	MaxInstrs uint64
+
+	seen uint64
+	done bool
+}
+
+// Next implements Reader.
+func (l *Limit) Next() (isa.Branch, error) {
+	if l.done {
+		return isa.Branch{}, io.EOF
+	}
+	b, err := l.R.Next()
+	if err != nil {
+		return isa.Branch{}, err
+	}
+	l.seen += uint64(b.BlockLen)
+	if l.MaxInstrs != 0 && l.seen >= l.MaxInstrs {
+		l.done = true
+	}
+	return b, nil
+}
+
+// Skip discards records until skipInstrs instructions have passed, then
+// yields the rest. It models the warmup window: the caller typically runs
+// structures over the skipped prefix separately.
+type Skip struct {
+	R          Reader
+	SkipInstrs uint64
+
+	skipped bool
+}
+
+// Next implements Reader.
+func (s *Skip) Next() (isa.Branch, error) {
+	if !s.skipped {
+		var seen uint64
+		for seen < s.SkipInstrs {
+			b, err := s.R.Next()
+			if err != nil {
+				return isa.Branch{}, err
+			}
+			seen += uint64(b.BlockLen)
+		}
+		s.skipped = true
+	}
+	return s.R.Next()
+}

@@ -1,0 +1,200 @@
+// Package workload synthesizes frontend-bound applications and executes them
+// into dynamic branch traces.
+//
+// The paper evaluates PDede on 102 proprietary applications whose exact
+// traces are unavailable. This package substitutes a parametric program
+// model calibrated to the branch-population statistics the paper publishes
+// in its analysis section (Figs 3–8): taken rates, branch-type mix, target
+// sharing, unique region/page/offset cardinalities, targets per page and per
+// region, and the fraction of same-page branches. A synthetic program is a
+// set of functions placed across sparse ASLR-style regions; executing it
+// with a seeded random walk (loops, calls, indirect dispatch) produces a
+// deterministic trace with realistic temporal and spatial locality.
+package workload
+
+import (
+	"fmt"
+)
+
+// Category mirrors Table 1 of the paper.
+type Category uint8
+
+const (
+	// Server: online transaction processing, web traffic, cloud services,
+	// microservices (61 apps in the paper).
+	Server Category = iota
+	// Browser: HTML5, Javascript, JVM, WebAssembly, games, image rendering
+	// (20 apps).
+	Browser
+	// BusinessProductivity: compression, email, presentations, spreadsheets,
+	// document processing (11 apps).
+	BusinessProductivity
+	// Personal: email, image editing, games, video playback (10 apps).
+	Personal
+
+	NumCategories = 4
+)
+
+var categoryNames = [NumCategories]string{
+	"Server", "Browser", "BP", "Personal",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Config describes one synthetic application. The zero value is not usable;
+// start from Default() or the catalog.
+type Config struct {
+	// Name identifies the application in reports.
+	Name string
+	// Category is the Table 1 grouping.
+	Category Category
+	// Seed makes the program and its execution deterministic.
+	Seed uint64
+
+	// StaticBranches is the number of static branch sites to synthesize
+	// (excluding the implicit per-function returns). Frontend-bound apps
+	// have working sets well beyond the 4K-entry baseline BTB.
+	StaticBranches int
+	// SitesPerFunc is the mean number of branch sites per function.
+	SitesPerFunc int
+	// PagesPerRegion is the mean number of code pages per ASLR region;
+	// the paper observes ~120 (2200 targets/region ÷ 18 targets/page).
+	PagesPerRegion int
+	// PageSpread ≥ 1 stretches the page indices used inside a region,
+	// leaving unused gaps (sparse address-space population).
+	PageSpread float64
+
+	// CondFrac, CallFrac, IndirectFrac set the static branch-kind mix.
+	// CondFrac of the sites are conditional; of the remainder, CallFrac are
+	// calls and IndirectFrac of those branches/calls use indirect targets.
+	CondFrac     float64
+	CallFrac     float64
+	IndirectFrac float64
+
+	// LoopFrac is the fraction of conditional sites that are loop
+	// back-edges.
+	LoopFrac float64
+	// TripMean is the mean loop trip count.
+	TripMean int
+	// BiasTakenFrac / BiasNotFrac split non-loop conditionals into
+	// strongly-taken / strongly-not-taken; the rest are ~50/50 (hard to
+	// predict).
+	BiasTakenFrac float64
+	BiasNotFrac   float64
+
+	// ShareTargets is the probability a direct branch target reuses an
+	// already-assigned target (drives the 30% duplicate-target figure).
+	ShareTargets float64
+	// SamePageBias is the probability a conditional or unconditional
+	// jump's target stays within the branch's own page when possible.
+	SamePageBias float64
+	// CrossRegionCallFrac is the probability a call targets a function in
+	// a different region (library call).
+	CrossRegionCallFrac float64
+
+	// HotTheta is the Zipf exponent of the function dispatch distribution
+	// (higher ⇒ smaller hot set).
+	HotTheta float64
+	// BlockLenMean is the mean basic-block length in instructions.
+	BlockLenMean int
+	// MaxCallDepth bounds the dynamic call stack (below the driver).
+	MaxCallDepth int
+	// DispatchInstrs bounds the instructions one driver dispatch may emit
+	// before calls stop descending; it controls how quickly execution moves
+	// between hot functions.
+	DispatchInstrs int
+
+	// BackendCPI is the per-app backend derating used by the core model: the
+	// cycles-per-µop the backend would sustain with a perfect frontend.
+	// It models data-dependency back-pressure that the trace cannot express.
+	BackendCPI float64
+}
+
+// Default returns a mid-sized, calibrated configuration.
+func Default() Config {
+	return Config{
+		Name:                "default",
+		Category:            Server,
+		Seed:                1,
+		StaticBranches:      16000,
+		SitesPerFunc:        18,
+		PagesPerRegion:      120,
+		PageSpread:          1.6,
+		CondFrac:            0.62,
+		CallFrac:            0.55,
+		IndirectFrac:        0.18,
+		LoopFrac:            0.14,
+		TripMean:            4,
+		BiasTakenFrac:       0.62,
+		BiasNotFrac:         0.34,
+		ShareTargets:        0.35,
+		SamePageBias:        0.80,
+		CrossRegionCallFrac: 0.10,
+		HotTheta:            0.85,
+		BlockLenMean:        6,
+		MaxCallDepth:        10,
+		DispatchInstrs:      3000,
+		BackendCPI:          0.45,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("workload: empty Name")
+	case c.StaticBranches < 100:
+		return fmt.Errorf("workload %s: StaticBranches %d too small", c.Name, c.StaticBranches)
+	case c.SitesPerFunc < 2:
+		return fmt.Errorf("workload %s: SitesPerFunc %d too small", c.Name, c.SitesPerFunc)
+	case c.PagesPerRegion < 1:
+		return fmt.Errorf("workload %s: PagesPerRegion %d", c.Name, c.PagesPerRegion)
+	case c.PageSpread < 1:
+		return fmt.Errorf("workload %s: PageSpread %v < 1", c.Name, c.PageSpread)
+	case c.TripMean < 1:
+		return fmt.Errorf("workload %s: TripMean %d", c.Name, c.TripMean)
+	case c.BlockLenMean < 2:
+		return fmt.Errorf("workload %s: BlockLenMean %d", c.Name, c.BlockLenMean)
+	case c.MaxCallDepth < 1:
+		return fmt.Errorf("workload %s: MaxCallDepth %d", c.Name, c.MaxCallDepth)
+	case c.DispatchInstrs < 100:
+		return fmt.Errorf("workload %s: DispatchInstrs %d too small", c.Name, c.DispatchInstrs)
+	case c.BackendCPI <= 0:
+		return fmt.Errorf("workload %s: BackendCPI %v", c.Name, c.BackendCPI)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"CondFrac", c.CondFrac}, {"CallFrac", c.CallFrac},
+		{"IndirectFrac", c.IndirectFrac}, {"LoopFrac", c.LoopFrac},
+		{"BiasTakenFrac", c.BiasTakenFrac}, {"BiasNotFrac", c.BiasNotFrac},
+		{"ShareTargets", c.ShareTargets}, {"SamePageBias", c.SamePageBias},
+		{"CrossRegionCallFrac", c.CrossRegionCallFrac},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("workload %s: %s = %v outside [0,1]", c.Name, p.name, p.v)
+		}
+	}
+	if c.BiasTakenFrac+c.BiasNotFrac > 1 {
+		return fmt.Errorf("workload %s: BiasTakenFrac+BiasNotFrac > 1", c.Name)
+	}
+	if c.HotTheta < 0 || c.HotTheta > 2 {
+		return fmt.Errorf("workload %s: HotTheta %v outside [0,2]", c.Name, c.HotTheta)
+	}
+	return nil
+}
+
+// NumFunctions derives the function count from the static branch budget.
+func (c Config) NumFunctions() int {
+	n := c.StaticBranches / c.SitesPerFunc
+	if n < 4 {
+		n = 4
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ConfigFromJSON decodes an application configuration. Missing fields keep
+// the Default() values, so a file only needs the knobs it changes:
+//
+//	{"Name": "my-service", "StaticBranches": 30000, "SamePageBias": 0.5}
+func ConfigFromJSON(r io.Reader) (Config, error) {
+	cfg := Default()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("workload: decoding config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads a JSON application configuration from a file.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return ConfigFromJSON(f)
+}
+
+// WriteJSON encodes the configuration (for saving customized apps).
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

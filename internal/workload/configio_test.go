@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigFromJSONPartial(t *testing.T) {
+	in := `{"Name": "custom", "StaticBranches": 30000, "SamePageBias": 0.5}`
+	cfg, err := ConfigFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "custom" || cfg.StaticBranches != 30000 || cfg.SamePageBias != 0.5 {
+		t.Errorf("overridden fields wrong: %+v", cfg)
+	}
+	// Unmentioned fields keep defaults.
+	d := Default()
+	if cfg.TripMean != d.TripMean || cfg.BlockLenMean != d.BlockLenMean {
+		t.Errorf("defaults not preserved: %+v", cfg)
+	}
+}
+
+func TestConfigFromJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"Name": ""}`,               // fails Validate
+		`{"SamePageBias": 1.5}`,      // out of range
+		`{"NoSuchField": 1}`,         // unknown field
+		`{"StaticBranches": "lots"}`, // wrong type
+		`{`,                          // malformed
+	}
+	for _, in := range cases {
+		if _, err := ConfigFromJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	want := Default()
+	want.Name = "roundtrip"
+	want.StaticBranches = 12345
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ConfigFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "app.json")
+	if err := os.WriteFile(path, []byte(`{"Name":"filed","StaticBranches":5000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "filed" {
+		t.Errorf("loaded %+v", cfg)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// A loaded custom config must actually run end-to-end.
+func TestLoadedConfigBuilds(t *testing.T) {
+	cfg, err := ConfigFromJSON(strings.NewReader(`{"Name":"mini","StaticBranches":1500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := Build(cfg, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Instructions() < 60_000 {
+		t.Errorf("trace too short: %d", tr.Instructions())
+	}
+}

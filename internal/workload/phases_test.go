@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Region phase locality: within short windows, taken non-return targets
+// should touch very few regions (this is what keeps the 4-entry Region-BTB
+// viable, Fig 5a).
+func TestRegionPhaseLocality(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 24000
+	_, tr, err := Build(cfg, 1_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 50_000
+	var instr uint64
+	next := uint64(window)
+	regions := map[uint64]bool{}
+	maxRegions, windows := 0, 0
+	for _, b := range tr.Records {
+		instr += uint64(b.BlockLen)
+		if b.Taken && !b.Kind.IsReturn() {
+			regions[b.Target.Region()] = true
+		}
+		if instr >= next {
+			if len(regions) > maxRegions {
+				maxRegions = len(regions)
+			}
+			windows++
+			regions = map[uint64]bool{}
+			next += window
+		}
+	}
+	if windows < 10 {
+		t.Fatalf("only %d windows", windows)
+	}
+	if maxRegions > 5 {
+		t.Errorf("window touched %d regions; phase locality broken (Region-BTB holds 4)", maxRegions)
+	}
+}
+
+// The region count must stay small even for huge footprints (the paper's
+// regions are ~100× rarer than pages).
+func TestRegionCountCapped(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 60000
+	p, err := NewProgram(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.RegionIDs) > 7 { // 6 library regions + driver
+		t.Errorf("program uses %d regions", len(p.RegionIDs))
+	}
+}
+
+// Functions must stay inside their region's contiguous index span so that
+// same-region calls are really same-region.
+func TestRegionSpansContiguous(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 12000
+	p, err := NewProgram(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRegion := -1
+	seen := map[int]bool{}
+	for _, f := range p.Funcs {
+		if f.Region != lastRegion {
+			if seen[f.Region] {
+				t.Fatalf("region %d appears in two separate spans", f.Region)
+			}
+			seen[f.Region] = true
+			lastRegion = f.Region
+		}
+	}
+}
+
+// Indirect sites must be dominated by one target (mostly-monomorphic
+// behaviour); otherwise even a perfect BTB drowns in target-change misses.
+func TestIndirectDominance(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 8000
+	_, tr, err := Build(cfg, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]map[uint64]int{} // pc → target → count
+	for _, b := range tr.Records {
+		if !b.Kind.IsIndirect() || !b.Taken {
+			continue
+		}
+		m := counts[uint64(b.PC)]
+		if m == nil {
+			m = map[uint64]int{}
+			counts[uint64(b.PC)] = m
+		}
+		m[uint64(b.Target)]++
+	}
+	var domSum, total float64
+	sites := 0
+	for _, m := range counts {
+		all, best := 0, 0
+		for _, n := range m {
+			all += n
+			if n > best {
+				best = n
+			}
+		}
+		if all < 20 {
+			continue // too few samples for a dominance estimate
+		}
+		domSum += float64(best) / float64(all)
+		total++
+		sites++
+	}
+	if sites < 10 {
+		t.Skip("too few hot indirect sites")
+	}
+	if dom := domSum / total; dom < 0.6 {
+		t.Errorf("mean dominant-target share %v, want ≥ 0.6", dom)
+	}
+}
+
+// Page sharing: multiple functions share pages, which is what produces the
+// paper's ~18 targets per page.
+func TestFunctionsSharePages(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 8000
+	p, err := NewProgram(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := map[uint64]int{}
+	for _, f := range p.Funcs {
+		perPage[f.Entry.PageAddr()]++
+	}
+	shared := 0
+	for _, n := range perPage {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if float64(shared)/float64(len(perPage)) < 0.3 {
+		t.Errorf("only %d/%d pages hold ≥2 function entries", shared, len(perPage))
+	}
+}
+
+// Loop back-edges must land in the same page as their branch most of the
+// time (tight inner loops are the delta-encoding motivation).
+func TestLoopBackEdgesSamePage(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 8000
+	p, err := NewProgram(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, total := 0, 0
+	for _, f := range p.Funcs {
+		for _, s := range f.Sites {
+			if s.Kind == isa.CondDirect && s.LoopTo >= 0 {
+				total++
+				if s.PC.SamePage(s.Target) {
+					same++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no loops generated")
+	}
+	if frac := float64(same) / float64(total); frac < 0.8 {
+		t.Errorf("only %v of loop back-edges are same-page", frac)
+	}
+}

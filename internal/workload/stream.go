@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"io"
+	"runtime"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// StreamSource is a trace.Source that regenerates its records on every
+// Open instead of materializing them: memory stays constant no matter how
+// long the trace is, at the cost of re-running the (deterministic)
+// executor. Use it for traces too large to hold (hundreds of millions of
+// instructions); Memory traces are faster when replaying many designs over
+// the same app.
+type StreamSource struct {
+	Cfg         Config
+	TotalInstrs uint64
+}
+
+// Name implements trace.Source.
+func (s *StreamSource) Name() string { return s.Cfg.Name }
+
+// Open implements trace.Source: it launches a generator goroutine feeding
+// bounded chunks through a channel. The goroutine exits when the trace
+// budget is exhausted or the reader is garbage-collected (a finalizer
+// closes the cancellation channel, so abandoned readers do not leak).
+func (s *StreamSource) Open() trace.Reader {
+	const chunkSize = 4096
+	chunks := make(chan []isa.Branch, 2)
+	done := make(chan struct{})
+	r := &streamReader{chunks: chunks, done: done}
+
+	go func() {
+		defer close(chunks)
+		p, err := NewProgram(s.Cfg)
+		if err != nil {
+			return // surfaces as a short stream; Validate cfg beforehand
+		}
+		buf := make([]isa.Branch, 0, chunkSize)
+		flush := func() bool {
+			if len(buf) == 0 {
+				return true
+			}
+			out := make([]isa.Branch, len(buf))
+			copy(out, buf)
+			buf = buf[:0]
+			select {
+			case chunks <- out:
+				return true
+			case <-done:
+				return false
+			}
+		}
+		emit := func(b isa.Branch) bool {
+			buf = append(buf, b)
+			if len(buf) == chunkSize {
+				return flush()
+			}
+			return true
+		}
+		streamExecute(p, s.TotalInstrs, emit)
+		flush()
+	}()
+
+	// If the reader is dropped without draining, unblock the generator.
+	runtime.SetFinalizer(r, func(sr *streamReader) { sr.cancel() })
+	return r
+}
+
+type streamReader struct {
+	chunks   chan []isa.Branch
+	done     chan struct{}
+	cur      []isa.Branch
+	pos      int
+	finished bool
+}
+
+func (r *streamReader) cancel() {
+	if !r.finished {
+		r.finished = true
+		close(r.done)
+	}
+}
+
+// Next implements trace.Reader.
+func (r *streamReader) Next() (isa.Branch, error) {
+	for r.pos >= len(r.cur) {
+		chunk, ok := <-r.chunks
+		if !ok {
+			r.cancel()
+			return isa.Branch{}, io.EOF
+		}
+		r.cur = chunk
+		r.pos = 0
+	}
+	b := r.cur[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// streamExecute runs the executor with a callback sink instead of an
+// in-memory slice. emit returns false to abort (reader cancelled).
+func streamExecute(p *Program, totalInstrs uint64, emit func(isa.Branch) bool) {
+	e := newExecutor(p, totalInstrs)
+	e.sink = emit
+	e.run()
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Streaming and in-memory execution must produce bit-identical traces.
+func TestStreamMatchesMemory(t *testing.T) {
+	cfg := Default()
+	cfg.StaticBranches = 2000
+	_, mem, err := Build(cfg, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &StreamSource{Cfg: cfg, TotalInstrs: 120_000}
+	if src.Name() != cfg.Name {
+		t.Errorf("source name %q", src.Name())
+	}
+	r := src.Open()
+	for i, want := range mem.Records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("stream did not end: %v", err)
+	}
+}
+
+// A second Open replays identically (Source contract).
+func TestStreamReplayable(t *testing.T) {
+	src := &StreamSource{Cfg: Default(), TotalInstrs: 50_000}
+	a, err := trace.Collect("a", src.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.Collect("b", src.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("replays differ in length: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("replays differ at %d", i)
+		}
+	}
+}
+
+// Abandoned readers must not leak their generator goroutines.
+func TestStreamAbandonedReaderDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		src := &StreamSource{Cfg: Default(), TotalInstrs: 2_000_000}
+		r := src.Open()
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+		// Drop the reader without draining.
+	}
+	for i := 0; i < 20; i++ {
+		runtime.GC()
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+	}
+	t.Errorf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+}
