@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the gate to run before sending a
+# change: build + vet + full tests, plus the race detector over the
+# concurrent suite-runner and trace paths.
+
+GO ?= go
+
+.PHONY: build test vet race fuzz check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment harness fans apps out across goroutines and the fault
+# layer is exercised from them; keep both race-checked on every run.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/trace/...
+
+# Short coverage-guided fuzz of the trace decoder (the seed corpus also
+# runs as a plain test inside `make test`).
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzDecoder -fuzztime 20s
+
+check: vet test race
+	@echo "check: ok"

@@ -6,14 +6,31 @@
 //	pdede-experiments -run fig10             # one experiment, full suite
 //	pdede-experiments -run all -apps 16      # everything on a sampled suite
 //	pdede-experiments -run fig12b -o out.txt
+//
+// Resilience (long sweeps):
+//
+//	pdede-experiments -run fig10 -keep-going -retries 2 -timeout 5m \
+//	    -checkpoint fig10.ckpt
+//
+// -keep-going records per-app failures (reported on stderr) instead of
+// aborting the sweep; -timeout bounds each app's wall clock; -retries
+// re-attempts transient per-app failures with capped exponential backoff;
+// -checkpoint persists completed (app, design) results after every app so
+// an interrupted or partially-failed run resumes where it left off.
+// SIGINT/SIGTERM cancel the run context: in-flight apps stop at the next
+// loop check and everything already completed is in the checkpoint.
+// Failures exit non-zero even when the report was written.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	pdedesim "repro"
@@ -21,19 +38,45 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment id, comma-separated list, or 'all'")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		apps   = flag.Int("apps", 0, "number of applications (0 = all 102)")
-		instrs = flag.Uint64("instrs", 3_500_000, "instructions per app")
-		warmup = flag.Uint64("warmup", 1_500_000, "warmup instructions")
-		out    = flag.String("o", "", "also write the report to this file")
-		dump   = flag.String("dump-suite", "", "run the Figure 10 designs over the suite and write per-app JSON records to this file")
+		run     = flag.String("run", "", "experiment id, comma-separated list, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		apps    = flag.Int("apps", 0, "number of applications (0 = all 102)")
+		instrs  = flag.Uint64("instrs", 3_500_000, "instructions per app")
+		warmup  = flag.Uint64("warmup", 1_500_000, "warmup instructions")
+		out     = flag.String("o", "", "also write the report to this file")
+		dump    = flag.String("dump-suite", "", "run the Figure 10 designs over the suite and write per-app JSON records to this file")
+		ckpt    = flag.String("checkpoint", "", "persist completed (app, design) results to this file and resume from it")
+		timeout = flag.Duration("timeout", 0, "per-app wall-clock budget across designs and retries (0 = none)")
+		retries = flag.Int("retries", 0, "extra attempts per app after a transient failure")
+		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base retry delay (doubles per attempt, capped, jittered)")
+		keep    = flag.Bool("keep-going", false, "record per-app failures and keep sweeping instead of aborting on the first")
+		verbose = flag.Bool("v", false, "log per-app progress to stderr")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := pdedesim.SuiteOptions{
+		Apps:         *apps,
+		TotalInstrs:  *instrs,
+		WarmupInstrs: *warmup,
+
+		AppTimeout:     *timeout,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		KeepGoing:      *keep,
+		CheckpointPath: *ckpt,
+	}
+	if *verbose || *keep || *ckpt != "" {
+		opts.Log = os.Stderr
+	}
+
 	if *dump != "" {
-		opts := pdedesim.SuiteOptions{Apps: *apps, TotalInstrs: *instrs, WarmupInstrs: *warmup}
-		if err := pdedesim.DumpSuiteJSON(opts, *dump); err != nil {
+		if err := pdedesim.DumpSuiteJSONContext(ctx, opts, *dump); err != nil {
+			if interrupted(ctx) {
+				fatal(fmt.Errorf("interrupted (completed apps are in the checkpoint): %w", err))
+			}
 			fatal(err)
 		}
 		fmt.Println("wrote", *dump)
@@ -81,15 +124,29 @@ func main() {
 		}
 	}
 
-	opts := pdedesim.SuiteOptions{Apps: *apps, TotalInstrs: *instrs, WarmupInstrs: *warmup}
+	exit := 0
 	for _, id := range ids {
 		start := time.Now()
-		if err := pdedesim.RunExperiment(id, opts, w); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+		err := pdedesim.RunExperimentContext(ctx, id, opts, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdede-experiments: %s: %v\n", id, err)
+			exit = 1
+			if interrupted(ctx) {
+				fmt.Fprintln(os.Stderr, "pdede-experiments: interrupted; completed apps are in the checkpoint")
+				break
+			}
+			if !*keep {
+				break
+			}
+			continue // -keep-going: partial report written, sweep on
 		}
 		fmt.Fprintf(w, "\n[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
+	os.Exit(exit)
 }
+
+// interrupted reports whether the signal context ended the run.
+func interrupted(ctx context.Context) bool { return ctx.Err() != nil }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pdede-experiments:", err)

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	pdedesim "repro"
 )
@@ -32,6 +36,11 @@ func main() {
 		perfDir = flag.Bool("perfect-direction", false, "use a perfect direction predictor (§5.5)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the simulation context; the run loop notices
+	// within a few thousand records and the command exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		apps := pdedesim.Catalog()
@@ -94,8 +103,11 @@ func main() {
 	fmt.Printf("%-12s %8s %10s %10s %10s %11s %9s\n",
 		"design", "IPC", "BTB-MPKI", "dir-MPKI", "fe-stall%", "btb-stall%", "vs-first")
 	for _, name := range picked {
-		res, err := pdedesim.SimulateTrace(app, tr, available[name], opts)
+		res, err := pdedesim.SimulateTraceContext(ctx, app, tr, available[name], opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(errors.New("interrupted"))
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		vs := "-"

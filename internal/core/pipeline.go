@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,12 @@ import (
 // Both models share the bpu (identical prediction, training and MPKI
 // accounting); they differ only in how prediction behaviour becomes cycles.
 func RunPipeline(cfg Config, src trace.Source) (*Result, error) {
+	return RunPipelineContext(context.Background(), cfg, src)
+}
+
+// RunPipelineContext is RunPipeline with cancellation, mirroring
+// RunContext: the record loop observes ctx every few thousand records.
+func RunPipelineContext(ctx context.Context, cfg Config, src trace.Source) (*Result, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,7 +81,12 @@ func RunPipeline(cfg Config, src trace.Source) (*Result, error) {
 	p.ftqFree = make([]float64, cfg.Params.FetchQueueEntries)
 
 	r := src.Open()
-	for {
+	for records := uint64(0); ; records++ {
+		if records&ctxCheckMask == 0 {
+			if err := checkCtx(ctx, records); err != nil {
+				return nil, err
+			}
+		}
 		b, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,20 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/trace"
 )
+
+// ctxCheckMask throttles context checks in the record loops: deadlines and
+// cancellation are observed every ctxCheckMask+1 records, keeping the check
+// off the per-record hot path.
+const ctxCheckMask = 1<<12 - 1
+
+// checkCtx returns the context's error, wrapped with simulation progress,
+// when the context is done.
+func checkCtx(ctx context.Context, records uint64) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: simulation stopped after %d records: %w", records, err)
+	}
+	return nil
+}
 
 // serializeFrac is the share of a multi-cycle BTB lookup's extra latency
 // that the taken-branch recurrence exposes as lost BPU throughput; the rest
@@ -56,6 +71,13 @@ type Config struct {
 
 // Run replays one trace through the configured core.
 func Run(cfg Config, src trace.Source) (*Result, error) {
+	return RunContext(context.Background(), cfg, src)
+}
+
+// RunContext is Run with cancellation: the record loop observes ctx every
+// few thousand records, so a deadline or cancel ends the simulation with
+// the context's error instead of running the trace to completion.
+func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +120,12 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 	}
 
 	r := src.Open()
-	for {
+	for records := uint64(0); ; records++ {
+		if records&ctxCheckMask == 0 {
+			if err := checkCtx(ctx, records); err != nil {
+				return nil, err
+			}
+		}
 		b, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break

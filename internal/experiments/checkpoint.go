@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON document persisted between runs. Results are
+// keyed by (app, design); the window options are stored so a checkpoint is
+// never silently reused for a differently-scaled sweep.
+type checkpointFile struct {
+	Version      int               `json:"version"`
+	TotalInstrs  uint64            `json:"total_instrs"`
+	WarmupInstrs uint64            `json:"warmup_instrs"`
+	Apps         []checkpointEntry `json:"apps"`
+}
+
+type checkpointEntry struct {
+	App     string                  `json:"app"`
+	Designs map[string]*core.Result `json:"designs"`
+}
+
+// Checkpoint stores completed (app, design) results between suite runs so
+// an interrupted or partially-failed sweep resumes instead of restarting.
+// Every Record rewrites the whole file via write-temp-then-rename, so the
+// file on disk is always a complete, parseable document.
+type Checkpoint struct {
+	path         string
+	totalInstrs  uint64
+	warmupInstrs uint64
+
+	mu   sync.Mutex
+	done map[string]map[string]*core.Result // app → design → result
+}
+
+// LoadCheckpoint opens (or initializes) the checkpoint at path for a sweep
+// with the given windows. A missing file is an empty checkpoint; an
+// existing file recorded under different windows is an error, since its
+// results would not be comparable.
+func LoadCheckpoint(path string, totalInstrs, warmupInstrs uint64) (*Checkpoint, error) {
+	c := &Checkpoint{
+		path:         path,
+		totalInstrs:  totalInstrs,
+		warmupInstrs: warmupInstrs,
+		done:         make(map[string]map[string]*core.Result),
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt file: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.TotalInstrs != totalInstrs || f.WarmupInstrs != warmupInstrs {
+		return nil, fmt.Errorf("checkpoint %s: recorded for %d/%d instr windows, this run uses %d/%d (delete it or match the options)",
+			path, f.TotalInstrs, f.WarmupInstrs, totalInstrs, warmupInstrs)
+	}
+	for _, e := range f.Apps {
+		if len(e.Designs) > 0 {
+			c.done[e.App] = e.Designs
+		}
+	}
+	return c, nil
+}
+
+// Done returns the persisted result for an (app, design) pair.
+func (c *Checkpoint) Done(app, design string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.done[app][design]
+	return res, ok
+}
+
+// Apps returns the number of apps with at least one persisted result.
+func (c *Checkpoint) Apps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Record merges an app's completed design results (possibly partial, if
+// the app failed midway) and flushes the checkpoint atomically.
+func (c *Checkpoint) Record(app string, results map[string]*core.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.done[app]
+	if m == nil {
+		m = make(map[string]*core.Result, len(results))
+		c.done[app] = m
+	}
+	for d, res := range results {
+		m[d] = res
+	}
+	return c.flushLocked()
+}
+
+// flushLocked writes the full document to a temp file in the same
+// directory and renames it over path, so readers and crashed runs never
+// observe a half-written checkpoint. Callers hold c.mu.
+func (c *Checkpoint) flushLocked() error {
+	f := checkpointFile{
+		Version:      checkpointVersion,
+		TotalInstrs:  c.totalInstrs,
+		WarmupInstrs: c.warmupInstrs,
+	}
+	apps := make([]string, 0, len(c.done))
+	for app := range c.done {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		f.Apps = append(f.Apps, checkpointEntry{App: app, Designs: c.done[app]})
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

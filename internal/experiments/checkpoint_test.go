@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCheckpointMissingFileIsEmpty(t *testing.T) {
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Apps() != 0 {
+		t.Errorf("empty checkpoint has %d apps", c.Apps())
+	}
+	if _, ok := c.Done("a", "d"); ok {
+		t.Error("empty checkpoint reported a done pair")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.ckpt")
+	c, err := LoadCheckpoint(path, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{App: "a", Design: "d", Instructions: 900, Cycles: 450}
+	if err := c.Record("a", map[string]*core.Result{"d": res}); err != nil {
+		t.Fatal(err)
+	}
+	// Merging a second design must preserve the first.
+	if err := c.Record("a", map[string]*core.Result{"d2": {App: "a", Design: "d2"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := LoadCheckpoint(path, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Done("a", "d")
+	if !ok {
+		t.Fatal("pair (a, d) lost across reload")
+	}
+	if got.IPC() != res.IPC() || got.Instructions != res.Instructions {
+		t.Errorf("restored result %+v differs from %+v", got, res)
+	}
+	if _, ok := c2.Done("a", "d2"); !ok {
+		t.Error("pair (a, d2) lost across reload")
+	}
+}
+
+func TestCheckpointWindowMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "win.ckpt")
+	c, _ := LoadCheckpoint(path, 1000, 100)
+	if err := c.Record("a", map[string]*core.Result{"d": {}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, 2000, 100); err == nil {
+		t.Error("mismatched TotalInstrs accepted")
+	}
+	if _, err := LoadCheckpoint(path, 1000, 200); err == nil {
+		t.Error("mismatched WarmupInstrs accepted")
+	}
+}
+
+func TestCheckpointCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, 1000, 100); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupt file error = %v", err)
+	}
+}
+
+// Every Record leaves a complete, parseable document behind (the
+// write-temp-then-rename contract), and no temp litter.
+func TestCheckpointAtomicFlush(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "atomic.ckpt")
+	c, _ := LoadCheckpoint(path, 1000, 100)
+	for i, app := range []string{"a", "b", "c"} {
+		if err := c.Record(app, map[string]*core.Result{"d": {}}); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := LoadCheckpoint(path, 1000, 100)
+		if err != nil {
+			t.Fatalf("after record %d: %v", i, err)
+		}
+		if c2.Apps() != i+1 {
+			t.Fatalf("after record %d: %d apps persisted", i, c2.Apps())
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir holds %d entries, want just the checkpoint", len(entries))
+	}
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/analysis"
@@ -54,43 +56,68 @@ type AppChar struct {
 }
 
 // CharacterizeSuite runs the §3 analysis over the selected apps in
-// parallel.
+// parallel. Each app is panic-isolated like Run; the base context (see
+// WithContext) cancels outstanding apps. Without KeepGoing the joined
+// per-app errors fail the call; with KeepGoing failed apps are dropped
+// from the returned slice and their errors are available via Runner.Err.
 func (r *Runner) CharacterizeSuite() ([]AppChar, error) {
+	ctx := r.baseCtx()
 	apps := r.SuiteApps()
 	out := make([]AppChar, len(apps))
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
-	)
+	errs := make([]error, len(apps))
+	var wg sync.WaitGroup
 	sem := make(chan struct{}, r.Opts.Parallelism)
 	for i := range apps {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = fmt.Errorf("app %s: %w", apps[i].Name, ctx.Err())
+				return
+			}
 			defer func() { <-sem }()
-			_, tr, err := workload.Build(apps[i], r.Opts.TotalInstrs)
-			if err == nil {
-				var c *analysis.Characterization
-				c, err = analysis.Characterize(tr.Open())
-				if err == nil {
-					mu.Lock()
-					out[i] = AppChar{App: apps[i], Char: c}
-					mu.Unlock()
-					return
-				}
+			c, err := r.characterizeApp(apps[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("app %s: %w", apps[i].Name, err)
+				r.logf("runner: characterize %s FAILED: %v", apps[i].Name, err)
+				return
 			}
-			mu.Lock()
-			if firstEr == nil {
-				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, err)
-			}
-			mu.Unlock()
+			out[i] = AppChar{App: apps[i], Char: c}
 		}(i)
 	}
 	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
+	if joined := errors.Join(errs...); joined != nil {
+		if !r.Opts.KeepGoing {
+			return nil, joined
+		}
+		r.noteFailures(joined)
+		kept := out[:0]
+		for _, c := range out {
+			if c.Char != nil {
+				kept = append(kept, c)
+			}
+		}
+		out = kept
+		if len(out) == 0 {
+			return nil, fmt.Errorf("all %d apps failed: %w", len(apps), joined)
+		}
 	}
 	return out, nil
+}
+
+// characterizeApp builds and characterizes one app, converting panics into
+// errors.
+func (r *Runner) characterizeApp(app workload.Config) (_ *analysis.Characterization, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	tr, err := r.buildTrace(app)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Characterize(tr.Open())
 }

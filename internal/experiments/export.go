@@ -33,9 +33,14 @@ type ExportRecord struct {
 }
 
 // Export flattens the suite into records, app-major then design order.
+// Failed apps are skipped: their partial results carry no ByDesign order
+// and would otherwise export as misleadingly complete rows.
 func (s *Suite) Export() []ExportRecord {
 	var out []ExportRecord
 	for _, a := range s.Apps {
+		if a.Failed() {
+			continue
+		}
 		for _, d := range a.ByDesign {
 			r := a.Results[d]
 			if r == nil {

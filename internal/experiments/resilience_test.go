@@ -1,0 +1,535 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// tinyCatalog builds n small, fast-to-simulate applications.
+func tinyCatalog(n int) []workload.Config {
+	out := make([]workload.Config, n)
+	for i := range out {
+		cfg := workload.Default()
+		cfg.Name = fmt.Sprintf("tiny-%d", i)
+		cfg.Seed = uint64(100 + i)
+		cfg.StaticBranches = 800
+		out[i] = cfg
+	}
+	return out
+}
+
+func tinyOpts(cat []workload.Config) Options {
+	return Options{
+		Catalog:      cat,
+		TotalInstrs:  60_000,
+		WarmupInstrs: 20_000,
+		Parallelism:  2,
+	}
+}
+
+func tinyDesigns() []Design {
+	return []Design{
+		BaselineDesign("b256", 256),
+		BaselineDesign("b1k", 1024),
+	}
+}
+
+// buildSource is the default BuildTrace hook body for tests that only
+// override some apps.
+func buildSource(app workload.Config, total uint64) (trace.Source, error) {
+	_, tr, err := workload.Build(app, total)
+	return tr, err
+}
+
+// appByName finds an app's result in the suite.
+func appByName(t *testing.T, s *Suite, name string) *AppResult {
+	t.Helper()
+	for i := range s.Apps {
+		if s.Apps[i].App.Name == name {
+			return &s.Apps[i]
+		}
+	}
+	t.Fatalf("app %s missing from suite", name)
+	return nil
+}
+
+// The acceptance scenario: one app's reader panics, one app's reader loops
+// forever until the per-app deadline, and the rest of the suite still
+// completes with both failures recorded.
+func TestKeepGoingIsolatesPanicAndTimeout(t *testing.T) {
+	cat := tinyCatalog(4)
+	opts := tinyOpts(cat)
+	opts.KeepGoing = true
+	opts.AppTimeout = 300 * time.Millisecond
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		src, err := buildSource(app, total)
+		if err != nil {
+			return nil, err
+		}
+		switch app.Name {
+		case "tiny-1":
+			return &trace.FaultSource{Src: src, Plan: trace.FaultPlan{PanicAt: 5}}, nil
+		case "tiny-2":
+			return &trace.FaultSource{Src: src, Plan: trace.FaultPlan{LoopForever: true}}, nil
+		}
+		return src, nil
+	}
+
+	suite, err := NewRunner(opts).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("keep-going run failed outright: %v", err)
+	}
+
+	var pe *PanicError
+	if a := appByName(t, suite, "tiny-1"); !errors.As(a.Err, &pe) {
+		t.Errorf("tiny-1 err = %v, want *PanicError", a.Err)
+	}
+	if a := appByName(t, suite, "tiny-2"); !errors.Is(a.Err, context.DeadlineExceeded) {
+		t.Errorf("tiny-2 err = %v, want deadline exceeded", a.Err)
+	}
+	for _, name := range []string{"tiny-0", "tiny-3"} {
+		a := appByName(t, suite, name)
+		if a.Err != nil || len(a.Results) != 2 {
+			t.Errorf("%s: err=%v results=%d, want clean run", name, a.Err, len(a.Results))
+		}
+	}
+	joined := suite.Err()
+	if joined == nil {
+		t.Fatal("suite.Err() = nil with two failed apps")
+	}
+	for _, frag := range []string{"tiny-1", "tiny-2", "panic"} {
+		if !strings.Contains(joined.Error(), frag) {
+			t.Errorf("suite error %q missing %q", joined, frag)
+		}
+	}
+	if got := suite.Gains("b1k", "b256"); len(got) != 2 {
+		t.Errorf("Gains covered %d apps, want 2 (failed apps skipped)", len(got))
+	}
+	if got := suite.MPKIReductions("b1k", "b256"); len(got) != 2 {
+		t.Errorf("MPKIReductions covered %d apps, want 2", len(got))
+	}
+	total := 0
+	for _, idx := range suite.ByCategory() {
+		total += len(idx)
+	}
+	if total != 2 {
+		t.Errorf("ByCategory covered %d apps, want 2", total)
+	}
+	if rows := suite.Export(); len(rows) != 4 {
+		t.Errorf("Export produced %d rows, want 4 (2 apps x 2 designs)", len(rows))
+	}
+}
+
+func TestFailFastPanicInDesignNew(t *testing.T) {
+	opts := tinyOpts(tinyCatalog(1))
+	bad := Design{Name: "boom", New: func() (btb.TargetPredictor, error) {
+		panic("constructor exploded")
+	}}
+	suite, err := NewRunner(opts).Run([]Design{bad})
+	if suite != nil || err == nil {
+		t.Fatalf("fail-fast run = (%v, %v), want (nil, error)", suite, err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "design boom") || len(pe.Stack) == 0 {
+		t.Errorf("panic not attributed: %v (stack %d bytes)", err, len(pe.Stack))
+	}
+}
+
+// panickyBTB panics during Lookup after a few calls, modelling a predictor
+// bug that only trips on a live trace.
+type panickyBTB struct {
+	btb.TargetPredictor
+	calls int
+}
+
+func (p *panickyBTB) Lookup(pc addr.VA) btb.Lookup {
+	p.calls++
+	if p.calls > 100 {
+		panic("predictor state corrupted")
+	}
+	return p.TargetPredictor.Lookup(pc)
+}
+
+func TestKeepGoingPanicInPredictor(t *testing.T) {
+	opts := tinyOpts(tinyCatalog(2))
+	opts.KeepGoing = true
+	designs := []Design{
+		BaselineDesign("b256", 256),
+		{Name: "panicky", New: func() (btb.TargetPredictor, error) {
+			inner, err := btb.NewBaseline(btb.BaselineConfig{Entries: 256})
+			if err != nil {
+				return nil, err
+			}
+			return &panickyBTB{TargetPredictor: inner}, nil
+		}},
+	}
+	suite, err := NewRunner(opts).Run(designs)
+	if suite == nil {
+		t.Fatalf("no suite returned (err=%v)", err)
+	}
+	for i := range suite.Apps {
+		a := &suite.Apps[i]
+		var pe *PanicError
+		if !errors.As(a.Err, &pe) {
+			t.Errorf("%s: err = %v, want *PanicError", a.App.Name, a.Err)
+		}
+		if !strings.Contains(a.Err.Error(), "design panicky") {
+			t.Errorf("%s: panic not attributed to design: %v", a.App.Name, a.Err)
+		}
+		// The design that ran before the panicking one survives.
+		if a.Results["b256"] == nil {
+			t.Errorf("%s: clean design's result was discarded", a.App.Name)
+		}
+	}
+	if err == nil {
+		t.Error("want all-apps-failed error when every app fails")
+	}
+}
+
+func TestRetryThenSucceed(t *testing.T) {
+	cat := tinyCatalog(1)
+	opts := tinyOpts(cat)
+	opts.Retries = 3
+	var (
+		mu sync.Mutex
+		fs *trace.FaultSource
+	)
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fs == nil {
+			src, err := buildSource(app, total)
+			if err != nil {
+				return nil, err
+			}
+			// The first two readers fail mid-stream; later opens are clean.
+			fs = &trace.FaultSource{Src: src, Plan: trace.FaultPlan{FailAt: 10, TransientOpens: 2}}
+		}
+		return fs, nil
+	}
+	suite, err := NewRunner(opts).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("retrying run failed: %v", err)
+	}
+	a := &suite.Apps[0]
+	if a.Err != nil || a.Attempts != 3 {
+		t.Errorf("attempts = %d err = %v, want 3 attempts and success", a.Attempts, a.Err)
+	}
+	if len(a.Results) != 2 {
+		t.Errorf("results = %d designs, want 2", len(a.Results))
+	}
+	// Opens: attempt 1 and 2 fail on the first design's reader, attempt 3
+	// opens one reader per design.
+	if got := fs.Opens(); got != 4 {
+		t.Errorf("source opened %d times, want 4", got)
+	}
+}
+
+// failSecondOpen fails (transiently) only its second reader, so the first
+// design of attempt one succeeds and the second fails: the retry must not
+// re-simulate the completed design.
+type failSecondOpen struct {
+	src   trace.Source
+	opens int
+}
+
+func (f *failSecondOpen) Name() string { return f.src.Name() }
+func (f *failSecondOpen) Open() trace.Reader {
+	f.opens++
+	if f.opens == 2 {
+		return &trace.FaultReader{R: f.src.Open(), Plan: trace.FaultPlan{FailAt: 10, TransientOpens: 0}}
+	}
+	return f.src.Open()
+}
+
+func TestRetrySkipsCompletedDesigns(t *testing.T) {
+	cat := tinyCatalog(1)
+	opts := tinyOpts(cat)
+	opts.Retries = 1
+	var (
+		mu sync.Mutex
+		fs *failSecondOpen
+	)
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fs == nil {
+			src, err := buildSource(app, total)
+			if err != nil {
+				return nil, err
+			}
+			fs = &failSecondOpen{src: src}
+		}
+		return fs, nil
+	}
+	suite, err := NewRunner(opts).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	a := &suite.Apps[0]
+	if a.Attempts != 2 || a.Err != nil || len(a.Results) != 2 {
+		t.Fatalf("attempts=%d err=%v results=%d, want a clean 2-attempt run", a.Attempts, a.Err, len(a.Results))
+	}
+	// Opens: attempt 1 = designs 1 (ok) and 2 (fails); attempt 2 = design 2
+	// only. A third open for design 1 would mean the done-map was ignored.
+	if fs.opens != 3 {
+		t.Errorf("source opened %d times, want 3 (completed design must not rerun)", fs.opens)
+	}
+}
+
+func TestNonRetryableFailureIsNotRetried(t *testing.T) {
+	cat := tinyCatalog(1)
+	opts := tinyOpts(cat)
+	opts.Retries = 5
+	opts.KeepGoing = true
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		src, err := buildSource(app, total)
+		if err != nil {
+			return nil, err
+		}
+		return &trace.FaultSource{Src: src, Plan: trace.FaultPlan{TruncateAt: 10}}, nil
+	}
+	suite, _ := NewRunner(opts).Run(tinyDesigns())
+	a := &suite.Apps[0]
+	if a.Err == nil || a.Attempts != 1 {
+		t.Errorf("attempts=%d err=%v, want exactly 1 attempt for a permanent fault", a.Attempts, a.Err)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := tinyOpts(tinyCatalog(3))
+	_, err := NewRunner(opts).RunContext(ctx, tinyDesigns())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	o := Options{RetryBackoff: 10 * time.Millisecond, Seed: 7}
+	var prev []time.Duration
+	for round := 0; round < 2; round++ {
+		var seq []time.Duration
+		for attempt := 1; attempt <= 12; attempt++ {
+			d := o.backoff("some-app", attempt)
+			lo, hi := time.Duration(0), 16*o.RetryBackoff
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, hi)
+			}
+			seq = append(seq, d)
+		}
+		if round == 1 {
+			for i := range seq {
+				if seq[i] != prev[i] {
+					t.Fatalf("backoff not deterministic: %v vs %v at attempt %d", seq[i], prev[i], i+1)
+				}
+			}
+		}
+		prev = seq
+	}
+	if d := (Options{}).backoff("x", 3); d != 0 {
+		t.Errorf("zero base backoff = %v, want 0", d)
+	}
+}
+
+func TestCheckpointResumeSkipsCompletedApps(t *testing.T) {
+	cat := tinyCatalog(3)
+	path := filepath.Join(t.TempDir(), "suite.ckpt")
+
+	// Run 1: tiny-1's reader panics; the two clean apps land in the
+	// checkpoint.
+	opts := tinyOpts(cat)
+	opts.KeepGoing = true
+	opts.CheckpointPath = path
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		src, err := buildSource(app, total)
+		if err != nil {
+			return nil, err
+		}
+		if app.Name == "tiny-1" {
+			return &trace.FaultSource{Src: src, Plan: trace.FaultPlan{PanicAt: 5}}, nil
+		}
+		return src, nil
+	}
+	suite1, err := NewRunner(opts).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	if appByName(t, suite1, "tiny-1").Err == nil {
+		t.Fatal("run 1: tiny-1 should have failed")
+	}
+	wantIPC := suite1.Apps[0].Results["b256"].IPC()
+
+	// Run 2: fault removed; only the failed app may be rebuilt.
+	var (
+		mu     sync.Mutex
+		builds = map[string]int{}
+	)
+	opts2 := tinyOpts(cat)
+	opts2.KeepGoing = true
+	opts2.CheckpointPath = path
+	opts2.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		mu.Lock()
+		builds[app.Name]++
+		mu.Unlock()
+		return buildSource(app, total)
+	}
+	suite2, err := NewRunner(opts2).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if got := suite2.Err(); got != nil {
+		t.Fatalf("run 2 suite errors: %v", got)
+	}
+	if len(builds) != 1 || builds["tiny-1"] != 1 {
+		t.Errorf("run 2 rebuilt %v, want only tiny-1 once (completed apps must not re-simulate)", builds)
+	}
+	for _, name := range []string{"tiny-0", "tiny-2"} {
+		a := appByName(t, suite2, name)
+		if !a.Skipped || a.Attempts != 0 || len(a.Results) != 2 {
+			t.Errorf("%s: skipped=%v attempts=%d results=%d, want checkpoint restore", name, a.Skipped, a.Attempts, len(a.Results))
+		}
+	}
+	a := appByName(t, suite2, "tiny-1")
+	if a.Skipped || a.Err != nil || len(a.Results) != 2 {
+		t.Errorf("tiny-1: skipped=%v err=%v results=%d, want fresh successful run", a.Skipped, a.Err, len(a.Results))
+	}
+	if got := suite2.Apps[0].Results["b256"].IPC(); got != wantIPC {
+		t.Errorf("restored IPC %v differs from original %v", got, wantIPC)
+	}
+	if got := suite2.Gains("b1k", "b256"); len(got) != 3 {
+		t.Errorf("run 2 gains cover %d apps, want 3", len(got))
+	}
+}
+
+// A partially-failed app checkpoints the designs that did complete and
+// only re-runs the missing ones on resume.
+func TestCheckpointPartialApp(t *testing.T) {
+	cat := tinyCatalog(1)
+	path := filepath.Join(t.TempDir(), "partial.ckpt")
+
+	opts := tinyOpts(cat)
+	opts.KeepGoing = true
+	opts.CheckpointPath = path
+	var (
+		mu sync.Mutex
+		fs *failSecondOpen
+	)
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fs == nil {
+			src, err := buildSource(app, total)
+			if err != nil {
+				return nil, err
+			}
+			fs = &failSecondOpen{src: src}
+		}
+		return fs, nil
+	}
+	suite, _ := NewRunner(opts).Run(tinyDesigns()) // no retries: 2nd design fails
+	if a := &suite.Apps[0]; a.Err == nil || len(a.Results) != 1 {
+		t.Fatalf("setup: err=%v results=%d, want 1 completed design and an error", a.Err, len(a.Results))
+	}
+
+	ck, err := LoadCheckpoint(path, opts.TotalInstrs, opts.WarmupInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.Done("tiny-0", "b256"); !ok {
+		t.Fatal("completed design missing from checkpoint")
+	}
+	if _, ok := ck.Done("tiny-0", "b1k"); ok {
+		t.Fatal("failed design present in checkpoint")
+	}
+
+	// Resume with a clean builder: only the missing design runs, so the
+	// source is opened exactly once.
+	opts2 := tinyOpts(cat)
+	opts2.CheckpointPath = path
+	var opens int
+	opts2.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		src, err := buildSource(app, total)
+		if err != nil {
+			return nil, err
+		}
+		opens++
+		return &trace.FaultSource{Src: src}, nil
+	}
+	suite2, err := NewRunner(opts2).Run(tinyDesigns())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	a := &suite2.Apps[0]
+	if a.Err != nil || len(a.Results) != 2 || a.Skipped {
+		t.Errorf("resume: err=%v results=%d skipped=%v", a.Err, len(a.Results), a.Skipped)
+	}
+	if opens != 1 {
+		t.Errorf("resume built the trace %d times, want 1", opens)
+	}
+}
+
+func TestCharacterizeSuiteKeepGoing(t *testing.T) {
+	cat := tinyCatalog(3)
+	opts := tinyOpts(cat)
+	opts.KeepGoing = true
+	opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+		if app.Name == "tiny-1" {
+			return nil, fmt.Errorf("injected build failure")
+		}
+		return buildSource(app, total)
+	}
+	r := NewRunner(opts)
+	chars, err := r.CharacterizeSuite()
+	if err != nil {
+		t.Fatalf("keep-going characterize failed: %v", err)
+	}
+	if len(chars) != 2 {
+		t.Fatalf("characterized %d apps, want 2", len(chars))
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "tiny-1") {
+		t.Errorf("runner did not aggregate the failure: %v", r.Err())
+	}
+}
+
+// A zero-value / failed AppResult must never contribute phantom data to
+// suite aggregations, even with a nil Results map.
+func TestAggregationsSkipFailedApps(t *testing.T) {
+	good := AppResult{App: workload.Config{Name: "good", Category: workload.Server}}
+	// Leave good's results empty too: Gains requires both designs present.
+	s := &Suite{Apps: []AppResult{
+		good,
+		{App: workload.Config{Name: "bad", Category: workload.Browser}, Err: errors.New("boom")},
+		{}, // zero value, as the old runner used to leave behind
+	}}
+	if g := s.Gains("a", "b"); len(g) != 0 {
+		t.Errorf("Gains = %v, want empty", g)
+	}
+	if m := s.MPKIReductions("a", "b"); len(m) != 0 {
+		t.Errorf("MPKIReductions = %v, want empty", m)
+	}
+	byCat := s.ByCategory()
+	if _, ok := byCat[workload.Browser]; ok {
+		t.Error("ByCategory included a failed app")
+	}
+	// The healthy app and the zero-value app (whose zero Category is
+	// Server) are grouped; only the failed app is dropped.
+	if n := len(byCat[workload.Server]); n != 2 {
+		t.Errorf("Server category has %d apps, want 2", n)
+	}
+}

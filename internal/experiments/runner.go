@@ -4,21 +4,28 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/btb"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Options control suite scale. The defaults run the full 102-app catalog
-// with a 1.5M-instruction warmup and a 2M-instruction measured window per
-// app (the paper warms 100M+ and measures 10M+ on its native simulator;
-// windows here scale with the synthetic footprints).
+// Options control suite scale and resilience policy. The defaults run the
+// full 102-app catalog with a 1.5M-instruction warmup and a 2M-instruction
+// measured window per app (the paper warms 100M+ and measures 10M+ on its
+// native simulator; windows here scale with the synthetic footprints).
 type Options struct {
 	// Apps caps the number of applications (0 = all). Subsets are sampled
 	// evenly across the catalog so every category stays represented.
@@ -29,6 +36,46 @@ type Options struct {
 	WarmupInstrs uint64
 	// Parallelism bounds concurrent app simulations (0 = GOMAXPROCS).
 	Parallelism int
+
+	// AppTimeout bounds one app's wall-clock budget across all its designs
+	// and retries (0 = no deadline). A timed-out app is recorded as failed
+	// with context.DeadlineExceeded.
+	AppTimeout time.Duration
+	// Retries is the number of extra attempts after a retryable failure
+	// (so Retries = 2 allows up to 3 attempts). Designs that completed in
+	// an earlier attempt are not re-simulated.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt, capped at 16x, with deterministic jitter derived from
+	// the app name and Seed (no wall-clock randomness). 0 = retry
+	// immediately, which keeps tests instant.
+	RetryBackoff time.Duration
+	// Retryable classifies errors worth another attempt. nil retries only
+	// transient trace faults (errors.Is(err, trace.ErrTransient)); panics
+	// and deadline expiries are never retried.
+	Retryable func(error) bool
+	// Seed feeds the deterministic backoff jitter.
+	Seed uint64
+
+	// KeepGoing aggregates failures instead of failing fast: Run returns a
+	// Suite holding every completed app, each failed app carries its Err,
+	// and Suite.Err joins them. Without it the first failure cancels the
+	// remaining apps and Run returns that error alone.
+	KeepGoing bool
+	// CheckpointPath enables checkpoint/resume: completed (app, design)
+	// results are atomically persisted after each app, and a later run
+	// with the same path and window options skips them.
+	CheckpointPath string
+
+	// Catalog overrides the application catalog (nil = workload.Catalog()).
+	// Tests use tiny catalogs here.
+	Catalog []workload.Config
+	// BuildTrace overrides trace construction (nil = workload.Build).
+	// Tests inject trace.FaultSource wrappers here.
+	BuildTrace func(cfg workload.Config, totalInstrs uint64) (trace.Source, error)
+	// Log receives progress and failure lines as the suite runs (nil =
+	// discard). Commands point it at stderr.
+	Log io.Writer
 }
 
 // DefaultOptions returns the full-suite configuration.
@@ -63,7 +110,35 @@ func (o Options) normalized() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
 	return o
+}
+
+// retryable reports whether err is worth another attempt under o.
+func (o Options) retryable(err error) bool {
+	if o.Retryable != nil {
+		return o.Retryable(err)
+	}
+	return errors.Is(err, trace.ErrTransient)
+}
+
+// backoff returns the deterministic delay before retry number attempt
+// (1-based): capped exponential in RetryBackoff with jitter in [0.5, 1.0)
+// drawn from a stream keyed by (Seed, app).
+func (o Options) backoff(app string, attempt int) time.Duration {
+	if o.RetryBackoff <= 0 {
+		return 0
+	}
+	d := o.RetryBackoff << (attempt - 1)
+	if max := 16 * o.RetryBackoff; d > max || d <= 0 {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	jr := rng.New(o.Seed ^ h.Sum64()).Fork(uint64(attempt))
+	return time.Duration((0.5 + 0.5*jr.Float64()) * float64(d))
 }
 
 // Design names a BTB configuration under test: a fresh predictor per run
@@ -77,12 +152,28 @@ type Design struct {
 	Mod func(*core.Config)
 }
 
-// AppResult holds one application's runs across all designs.
+// AppResult holds one application's runs across all designs, or the
+// reason it has none.
 type AppResult struct {
 	App      workload.Config
 	Results  map[string]*core.Result
 	ByDesign []string // design order, for deterministic iteration
+
+	// Err is non-nil when the app failed (build error, run error, panic,
+	// or deadline); Results then holds whatever designs completed before
+	// the failure.
+	Err error
+	// Attempts counts how many times the app was attempted (0 for apps
+	// restored wholesale from a checkpoint).
+	Attempts int
+	// Skipped marks an app whose every design was restored from the
+	// checkpoint, so nothing was re-simulated.
+	Skipped bool
 }
+
+// Failed reports whether the app produced an error instead of a full
+// result set.
+func (a *AppResult) Failed() bool { return a.Err != nil }
 
 // Suite is the result of running designs over the app catalog.
 type Suite struct {
@@ -90,9 +181,47 @@ type Suite struct {
 	Designs []string
 }
 
+// Err joins every per-app failure (nil when the whole suite succeeded).
+func (s *Suite) Err() error {
+	var errs []error
+	for i := range s.Apps {
+		if a := &s.Apps[i]; a.Failed() {
+			errs = append(errs, fmt.Errorf("app %s: %w", a.App.Name, a.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Failed returns the indices of failed apps.
+func (s *Suite) Failed() []int {
+	var out []int
+	for i := range s.Apps {
+		if s.Apps[i].Failed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PanicError records a panic recovered from one (app, design) run,
+// preserving the panic value and stack so a crash in one predictor is a
+// per-app failure, not a dead process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
 // Runner executes suites.
 type Runner struct {
 	Opts Options
+
+	ctx context.Context // base context for Run; nil = Background
+
+	mu       sync.Mutex
+	failures []error // accumulated across Run/CharacterizeSuite calls
 }
 
 // NewRunner builds a runner with normalized options.
@@ -100,9 +229,49 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{Opts: opts.normalized()}
 }
 
+// WithContext sets the base context used by Run and CharacterizeSuite
+// (experiment Run hooks receive only the Runner, so commands cancel whole
+// experiments through here). It returns r for chaining.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.ctx = ctx
+	return r
+}
+
+func (r *Runner) baseCtx() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Opts.Log != nil {
+		fmt.Fprintf(r.Opts.Log, format+"\n", args...)
+	}
+}
+
+// noteFailures records per-app failures for Err.
+func (r *Runner) noteFailures(errs ...error) {
+	r.mu.Lock()
+	r.failures = append(r.failures, errs...)
+	r.mu.Unlock()
+}
+
+// Err joins every app failure the runner has tolerated so far (keep-going
+// runs return partial suites with a nil error; commands surface this to
+// decide the exit code).
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return errors.Join(r.failures...)
+}
+
 // SuiteApps returns the catalog subset selected by the options.
 func (r *Runner) SuiteApps() []workload.Config {
-	apps := workload.Catalog()
+	apps := r.Opts.Catalog
+	if apps == nil {
+		apps = workload.Catalog()
+	}
 	if r.Opts.Apps <= 0 || r.Opts.Apps >= len(apps) {
 		return apps
 	}
@@ -115,15 +284,51 @@ func (r *Runner) SuiteApps() []workload.Config {
 	return out
 }
 
-// Run executes every design over the selected apps. Traces are built once
-// per app and reused across designs, then discarded (the full suite's
-// traces would not fit in memory simultaneously).
+// buildTrace builds (or injects) the app's trace source.
+func (r *Runner) buildTrace(app workload.Config) (trace.Source, error) {
+	if r.Opts.BuildTrace != nil {
+		return r.Opts.BuildTrace(app, r.Opts.TotalInstrs)
+	}
+	_, tr, err := workload.Build(app, r.Opts.TotalInstrs)
+	return tr, err
+}
+
+// Run executes every design over the selected apps with the runner's base
+// context. See RunContext.
 func (r *Runner) Run(designs []Design) (*Suite, error) {
+	return r.RunContext(r.baseCtx(), designs)
+}
+
+// RunContext executes every design over the selected apps. Traces are
+// built once per app and reused across designs, then discarded (the full
+// suite's traces would not fit in memory simultaneously).
+//
+// Each app runs isolated: panics become per-app errors, AppTimeout bounds
+// its wall clock, and retryable failures are re-attempted up to
+// Opts.Retries times. Without KeepGoing the first failure cancels the
+// remaining apps and is returned alone; with KeepGoing every app runs,
+// failures land in AppResult.Err (joined by Suite.Err), and RunContext
+// errors only when the context is cancelled or no app succeeded at all.
+// With CheckpointPath set, completed results are persisted after each app
+// and already-completed (app, design) pairs are skipped on resume.
+func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, error) {
 	apps := r.SuiteApps()
 	suite := &Suite{Apps: make([]AppResult, len(apps))}
 	for _, d := range designs {
 		suite.Designs = append(suite.Designs, d.Name)
 	}
+
+	var ckpt *Checkpoint
+	if r.Opts.CheckpointPath != "" {
+		var err error
+		ckpt, err = LoadCheckpoint(r.Opts.CheckpointPath, r.Opts.TotalInstrs, r.Opts.WarmupInstrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	var (
 		wg      sync.WaitGroup
@@ -135,43 +340,157 @@ func (r *Runner) Run(designs []Design) (*Suite, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := r.runApp(apps[i], designs)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstEr == nil {
-				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, err)
+			select {
+			case sem <- struct{}{}:
+			case <-runCtx.Done():
+				mu.Lock()
+				suite.Apps[i] = AppResult{App: apps[i], Err: runCtx.Err()}
+				mu.Unlock()
 				return
 			}
+			defer func() { <-sem }()
+
+			res := r.runApp(runCtx, apps[i], designs, ckpt)
+			if res.Err == nil && !res.Skipped {
+				r.logf("runner: app %s ok (%d designs, %d attempt(s))",
+					apps[i].Name, len(res.Results), res.Attempts)
+			}
+			if res.Err != nil {
+				r.logf("runner: app %s FAILED after %d attempt(s): %v",
+					apps[i].Name, res.Attempts, res.Err)
+			}
+			if ckpt != nil && len(res.Results) > 0 && !res.Skipped {
+				if err := ckpt.Record(apps[i].Name, res.Results); err != nil {
+					r.logf("runner: checkpoint write failed: %v", err)
+					if res.Err == nil {
+						res.Err = fmt.Errorf("checkpoint: %w", err)
+					}
+				}
+			}
+
+			mu.Lock()
+			defer mu.Unlock()
 			suite.Apps[i] = res
+			if res.Err != nil && !r.Opts.KeepGoing && firstEr == nil {
+				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, res.Err)
+				cancel() // fail fast: stop the rest of the suite
+			}
 		}(i)
 	}
 	wg.Wait()
+
 	if firstEr != nil {
 		return nil, firstEr
+	}
+	if err := ctx.Err(); err != nil {
+		return suite, err
+	}
+	if joined := suite.Err(); joined != nil {
+		r.noteFailures(joined)
+		if len(suite.Failed()) == len(suite.Apps) {
+			return suite, fmt.Errorf("all %d apps failed: %w", len(suite.Apps), joined)
+		}
 	}
 	return suite, nil
 }
 
-func (r *Runner) runApp(app workload.Config, designs []Design) (AppResult, error) {
-	_, tr, err := workload.Build(app, r.Opts.TotalInstrs)
-	if err != nil {
-		return AppResult{}, err
-	}
+// runApp runs one application across all designs with checkpoint reuse,
+// retries, a per-app deadline and panic isolation. It always returns a
+// populated AppResult (never a zero value): on failure Err is set and
+// Results holds the designs that did complete.
+func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Design, ckpt *Checkpoint) AppResult {
 	out := AppResult{App: app, Results: make(map[string]*core.Result, len(designs))}
-	for _, d := range designs {
-		res, err := r.runOne(app, tr, d)
-		if err != nil {
-			return AppResult{}, fmt.Errorf("design %s: %w", d.Name, err)
+	if ckpt != nil {
+		for _, d := range designs {
+			if res, ok := ckpt.Done(app.Name, d.Name); ok {
+				out.Results[d.Name] = res
+			}
 		}
-		out.Results[d.Name] = res
-		out.ByDesign = append(out.ByDesign, d.Name)
+		if len(out.Results) == len(designs) {
+			out.Skipped = true
+			for _, d := range designs {
+				out.ByDesign = append(out.ByDesign, d.Name)
+			}
+			r.logf("runner: app %s restored from checkpoint", app.Name)
+			return out
+		}
 	}
-	return out, nil
+
+	appCtx := ctx
+	if r.Opts.AppTimeout > 0 {
+		var cancel context.CancelFunc
+		appCtx, cancel = context.WithTimeout(ctx, r.Opts.AppTimeout)
+		defer cancel()
+	}
+
+	for attempt := 1; ; attempt++ {
+		out.Attempts = attempt
+		err := r.runAppOnce(appCtx, app, designs, out.Results)
+		if err == nil {
+			out.Err = nil
+			for _, d := range designs {
+				out.ByDesign = append(out.ByDesign, d.Name)
+			}
+			return out
+		}
+		out.Err = err
+		if appCtx.Err() != nil || attempt > r.Opts.Retries || !r.Opts.retryable(err) {
+			return out
+		}
+		r.logf("runner: app %s attempt %d failed (%v), retrying", app.Name, attempt, err)
+		if delay := r.Opts.backoff(app.Name, attempt); delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-appCtx.Done():
+				t.Stop()
+				out.Err = appCtx.Err()
+				return out
+			}
+		}
+	}
 }
 
-func (r *Runner) runOne(app workload.Config, tr *trace.Memory, d Design) (*core.Result, error) {
+// runAppOnce is a single attempt: build the trace, then run every design
+// not already in done (filled in by checkpoint restore or earlier
+// attempts). Panics anywhere below — workload generation, predictor
+// construction, the core models — are recovered into *PanicError.
+func (r *Runner) runAppOnce(ctx context.Context, app workload.Config, designs []Design, done map[string]*core.Result) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tr, err := r.buildTrace(app)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	for i := range designs {
+		d := &designs[i]
+		if _, ok := done[d.Name]; ok {
+			continue
+		}
+		res, err := r.runOne(ctx, app, tr, d)
+		if err != nil {
+			return fmt.Errorf("design %s: %w", d.Name, err)
+		}
+		done[d.Name] = res
+	}
+	return nil
+}
+
+// runOne simulates one (app, design) pair. Panics in the predictor
+// constructor, the core models or the trace reader are recovered here so
+// the returned error is attributed to the design that crashed.
+func (r *Runner) runOne(ctx context.Context, app workload.Config, tr trace.Source, d *Design) (_ *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	tp, err := d.New()
 	if err != nil {
 		return nil, err
@@ -186,15 +505,20 @@ func (r *Runner) runOne(app workload.Config, tr *trace.Memory, d Design) (*core.
 		d.Mod(&cfg)
 	}
 	if cfg.UsePipeline {
-		return core.RunPipeline(cfg, tr)
+		return core.RunPipelineContext(ctx, cfg, tr)
 	}
-	return core.Run(cfg, tr)
+	return core.RunContext(ctx, cfg, tr)
 }
 
-// Gains collects per-app relative IPC gains of design vs base.
+// Gains collects per-app relative IPC gains of design vs base. Failed apps
+// are skipped.
 func (s *Suite) Gains(design, base string) []float64 {
 	var out []float64
-	for _, a := range s.Apps {
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		if a.Failed() {
+			continue
+		}
 		d, b := a.Results[design], a.Results[base]
 		if d == nil || b == nil {
 			continue
@@ -204,10 +528,15 @@ func (s *Suite) Gains(design, base string) []float64 {
 	return out
 }
 
-// MPKIReductions collects per-app relative BTB-MPKI reductions.
+// MPKIReductions collects per-app relative BTB-MPKI reductions. Failed
+// apps are skipped.
 func (s *Suite) MPKIReductions(design, base string) []float64 {
 	var out []float64
-	for _, a := range s.Apps {
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		if a.Failed() {
+			continue
+		}
 		d, b := a.Results[design], a.Results[base]
 		if d == nil || b == nil {
 			continue
@@ -217,11 +546,15 @@ func (s *Suite) MPKIReductions(design, base string) []float64 {
 	return out
 }
 
-// ByCategory groups app indices per category.
+// ByCategory groups app indices per category. Failed apps are skipped so
+// per-category aggregates never average in zero-valued results.
 func (s *Suite) ByCategory() map[workload.Category][]int {
 	out := make(map[workload.Category][]int)
-	for i, a := range s.Apps {
-		out[a.App.Category] = append(out[a.App.Category], i)
+	for i := range s.Apps {
+		if s.Apps[i].Failed() {
+			continue
+		}
+		out[s.Apps[i].App.Category] = append(out[s.Apps[i].App.Category], i)
 	}
 	for _, idx := range out {
 		sort.Ints(idx)

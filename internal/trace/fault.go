@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// ErrTransient marks injected (or real) failures that a retry may clear:
+// the read failed, but re-opening the source can succeed. Harnesses
+// classify retryability with errors.Is(err, ErrTransient).
+var ErrTransient = errors.New("transient trace read error")
+
+// FaultPlan configures deterministic fault injection. Record positions are
+// 1-based indices into the stream a single Reader yields; zero disables
+// that fault. Faults compose — each record position is checked against
+// every configured fault, in the order the fields are listed below.
+type FaultPlan struct {
+	// PanicAt makes the reader panic when asked for this record, modelling
+	// a bug in a predictor or decoder that the harness must contain.
+	PanicAt uint64
+	// FailAt makes the reader return an error wrapping ErrTransient at
+	// this record. TransientOpens bounds how many Readers (in Open order)
+	// inject it: the first TransientOpens readers fail, later ones run
+	// clean — modelling a fault that clears on retry. TransientOpens <= 0
+	// means every reader fails (a permanent, but still transient-typed,
+	// fault).
+	FailAt         uint64
+	TransientOpens int
+	// TruncateAt ends the stream with io.ErrUnexpectedEOF at this record,
+	// modelling a trace file cut off mid-record.
+	TruncateAt uint64
+	// CorruptKindAt delivers this record with an out-of-range Kind,
+	// modelling bit rot that decodes structurally but is semantically
+	// garbage.
+	CorruptKindAt uint64
+	// CorruptDeltaAt delivers this record with a garbage target and a zero
+	// block length, modelling a corrupted delta field.
+	CorruptDeltaAt uint64
+	// LoopForever restarts the underlying source on EOF so the stream
+	// never ends, modelling a hung or runaway reader; only a deadline
+	// stops the consumer.
+	LoopForever bool
+}
+
+// FaultSource wraps a Source, injecting the faults of Plan into every
+// Reader it opens. It implements Source. Open is not safe for concurrent
+// use (the suite runner opens readers sequentially within one app).
+type FaultSource struct {
+	Src   Source
+	Plan  FaultPlan
+	opens int
+}
+
+// Name implements Source.
+func (f *FaultSource) Name() string { return f.Src.Name() }
+
+// Opens reports how many readers have been opened, letting tests assert
+// retry counts.
+func (f *FaultSource) Opens() int { return f.opens }
+
+// Open implements Source.
+func (f *FaultSource) Open() Reader {
+	f.opens++
+	plan := f.Plan
+	if plan.FailAt != 0 && plan.TransientOpens > 0 && f.opens > plan.TransientOpens {
+		plan.FailAt = 0 // fault has cleared for this and later readers
+	}
+	return &FaultReader{R: f.Src.Open(), Plan: plan, reopen: f.Src.Open}
+}
+
+// FaultReader injects the faults of Plan into an underlying Reader. It
+// implements Reader. The zero Plan is a transparent pass-through.
+type FaultReader struct {
+	R    Reader
+	Plan FaultPlan
+
+	pos    uint64
+	reopen func() Reader // for LoopForever; nil restarts nothing
+}
+
+// Next implements Reader.
+func (r *FaultReader) Next() (isa.Branch, error) {
+	r.pos++
+	switch p := &r.Plan; r.pos {
+	case p.PanicAt:
+		panic(fmt.Sprintf("trace: injected panic at record %d of %T", r.pos, r.R))
+	case p.FailAt:
+		return isa.Branch{}, fmt.Errorf("trace: injected fault at record %d: %w", r.pos, ErrTransient)
+	case p.TruncateAt:
+		return isa.Branch{}, fmt.Errorf("trace: injected truncation at record %d: %w", r.pos, io.ErrUnexpectedEOF)
+	}
+	b, err := r.R.Next()
+	if errors.Is(err, io.EOF) && r.Plan.LoopForever && r.reopen != nil {
+		r.R = r.reopen()
+		b, err = r.R.Next()
+	}
+	if err != nil {
+		return isa.Branch{}, err
+	}
+	switch p := &r.Plan; r.pos {
+	case p.CorruptKindAt:
+		b.Kind = isa.NumKinds + isa.Kind(r.pos%3)
+	case p.CorruptDeltaAt:
+		b.Target = ^b.Target
+		b.BlockLen = 0
+	}
+	return b, nil
+}

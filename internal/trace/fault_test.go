@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFaultReaderPassThrough(t *testing.T) {
+	m := sampleTrace()
+	got, err := Collect("copy", &FaultReader{R: m.Open()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(m.Records) {
+		t.Fatalf("pass-through yielded %d records, want %d", len(got.Records), len(m.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != m.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Records[i], m.Records[i])
+		}
+	}
+}
+
+func TestFaultReaderTruncate(t *testing.T) {
+	m := sampleTrace()
+	r := &FaultReader{R: m.Open(), Plan: FaultPlan{TruncateAt: 3}}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	_, err := r.Next()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFaultSourceTransientClears(t *testing.T) {
+	fs := &FaultSource{Src: sampleTrace(), Plan: FaultPlan{FailAt: 2, TransientOpens: 2}}
+	for open := 1; open <= 2; open++ {
+		_, err := Collect("x", fs.Open())
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("open %d: err = %v, want ErrTransient", open, err)
+		}
+	}
+	if _, err := Collect("x", fs.Open()); err != nil {
+		t.Fatalf("open 3 should be clean, got %v", err)
+	}
+	if fs.Opens() != 3 {
+		t.Fatalf("Opens() = %d, want 3", fs.Opens())
+	}
+}
+
+func TestFaultSourcePermanentTransient(t *testing.T) {
+	fs := &FaultSource{Src: sampleTrace(), Plan: FaultPlan{FailAt: 1}}
+	for open := 1; open <= 4; open++ {
+		if _, err := Collect("x", fs.Open()); !errors.Is(err, ErrTransient) {
+			t.Fatalf("open %d: err = %v, want ErrTransient", open, err)
+		}
+	}
+}
+
+func TestFaultReaderCorruption(t *testing.T) {
+	m := sampleTrace()
+	r := &FaultReader{R: m.Open(), Plan: FaultPlan{CorruptKindAt: 1, CorruptDeltaAt: 2}}
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Kind < isa.NumKinds {
+		t.Fatalf("corrupt kind = %d, want out of range", b.Kind)
+	}
+	b, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BlockLen != 0 || b.Target == m.Records[1].Target {
+		t.Fatalf("delta corruption not applied: %+v", b)
+	}
+}
+
+func TestFaultSourceLoopForever(t *testing.T) {
+	fs := &FaultSource{Src: sampleTrace(), Plan: FaultPlan{LoopForever: true}}
+	r := fs.Open()
+	n := len(sampleTrace().Records)
+	for i := 0; i < 5*n; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("looping reader ended at record %d: %v", i, err)
+		}
+	}
+}
+
+func TestFaultReaderPanicAt(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicAt did not panic")
+		}
+	}()
+	r := &FaultReader{R: sampleTrace().Open(), Plan: FaultPlan{PanicAt: 1}}
+	r.Next()
+}

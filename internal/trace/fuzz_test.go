@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzDecoder drives NewDecoder/Decoder.Next with arbitrary bytes: the
+// decoder must never panic, and every non-EOF failure must carry a
+// descriptive message. Seeds cover a fully valid encoding, truncations of
+// it, header-only inputs and the random-tail corpus style of
+// robustness_test.go.
+func FuzzDecoder(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Write(&valid, "sample", sampleTrace().Open()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-1]) // missing trailer
+	f.Add(valid.Bytes()[:7])             // cut inside the header
+	f.Add([]byte{})
+	f.Add([]byte("PDT1"))
+	f.Add([]byte("PDT1\x01x\xff"))             // empty named stream
+	f.Add([]byte("PDT1\x01x\x02\x05\x80\x80")) // record cut mid-varint
+	f.Add([]byte("QQT1\x01x\xff"))             // bad magic
+	r := rng.New(99)
+	for i := 0; i < 8; i++ {
+		seed := []byte("PDT1\x01x")
+		n := r.Intn(64)
+		for j := 0; j < n; j++ {
+			seed = append(seed, byte(r.Uint32()))
+		}
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Error("NewDecoder returned an empty error")
+			}
+			return
+		}
+		for {
+			_, err := dec.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				if err.Error() == "" {
+					t.Error("Next returned an empty error")
+				}
+				dec.Next() // calling again after an error must not crash
+				return
+			}
+		}
+	})
+}

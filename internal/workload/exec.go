@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/addr"
 	"repro/internal/isa"
 	"repro/internal/rng"
@@ -222,11 +224,13 @@ func (e *Executor) descend(callee int, callPC addr.VA, depth int) {
 	e.runFunc(cf, retAddr, depth+1)
 }
 
-// Build synthesizes the program and executes it in one step.
+// Build synthesizes the program and executes it in one step. Errors name
+// the application so harnesses that aggregate failures across a suite can
+// report which workload was unbuildable.
 func Build(cfg Config, totalInstrs uint64) (*Program, *trace.Memory, error) {
 	p, err := NewProgram(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("workload %q: %w", cfg.Name, err)
 	}
 	return p, Execute(p, totalInstrs), nil
 }

@@ -28,6 +28,7 @@
 package pdedesim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -223,6 +224,13 @@ func Simulate(app App, design func() (TargetPredictor, error), opts SimOptions) 
 // SimulateTrace runs a pre-built trace (reuse it across designs: traces are
 // deterministic and replayable).
 func SimulateTrace(app App, tr *Trace, design func() (TargetPredictor, error), opts SimOptions) (*Result, error) {
+	return SimulateTraceContext(context.Background(), app, tr, design, opts)
+}
+
+// SimulateTraceContext is SimulateTrace with cancellation: the simulation
+// loop observes ctx, so a deadline or an interrupt ends the run with the
+// context's error.
+func SimulateTraceContext(ctx context.Context, app App, tr *Trace, design func() (TargetPredictor, error), opts SimOptions) (*Result, error) {
 	tp, err := design()
 	if err != nil {
 		return nil, err
@@ -238,9 +246,9 @@ func SimulateTrace(app App, tr *Trace, design func() (TargetPredictor, error), o
 		PerfectDirection: opts.PerfectDirection,
 	}
 	if opts.UsePipelineModel {
-		return core.RunPipeline(cfg, tr)
+		return core.RunPipelineContext(ctx, cfg, tr)
 	}
-	return core.Run(cfg, tr)
+	return core.RunContext(ctx, cfg, tr)
 }
 
 // --- Experiments ----------------------------------------------------------
@@ -256,13 +264,26 @@ func ExtensionExperiments() []Experiment { return experiments.ExtExperiments() }
 // RunExperiment executes one experiment by id ("fig10", "table2", ...),
 // writing its report to w. Zero-valued options run the full 102-app suite.
 func RunExperiment(id string, opts SuiteOptions, w io.Writer) error {
+	return RunExperimentContext(context.Background(), id, opts, w)
+}
+
+// RunExperimentContext is RunExperiment with cancellation and failure
+// aggregation: ctx cancels the suite mid-run (completed apps still land in
+// the checkpoint, if one is configured), and with opts.KeepGoing the
+// report is written from the apps that succeeded while the joined per-app
+// failures come back as the returned error — callers get both the partial
+// report and a non-nil signal for their exit code.
+func RunExperimentContext(ctx context.Context, id string, opts SuiteOptions, w io.Writer) error {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return fmt.Errorf("pdedesim: unknown experiment %q", id)
 	}
-	r := experiments.NewRunner(opts)
+	r := experiments.NewRunner(opts).WithContext(ctx)
 	fmt.Fprintf(w, "== %s\n   paper: %s\n\n", e.Title, e.Paper)
-	return e.Run(r, w)
+	if err := e.Run(r, w); err != nil {
+		return err
+	}
+	return r.Err()
 }
 
 // QuickSuite returns reduced options for fast exploratory runs.
@@ -272,8 +293,15 @@ func QuickSuite() SuiteOptions { return experiments.QuickOptions() }
 // variants) over the application suite and writes per-(app, design) JSON
 // records to path — the machine-readable artifact for external plotting.
 func DumpSuiteJSON(opts SuiteOptions, path string) error {
+	return DumpSuiteJSONContext(context.Background(), opts, path)
+}
+
+// DumpSuiteJSONContext is DumpSuiteJSON with cancellation. With
+// opts.KeepGoing the dump covers the apps that succeeded and the joined
+// per-app failures are returned after the file is written.
+func DumpSuiteJSONContext(ctx context.Context, opts SuiteOptions, path string) error {
 	r := experiments.NewRunner(opts)
-	suite, err := r.Run(experiments.StandardDesigns())
+	suite, err := r.RunContext(ctx, experiments.StandardDesigns())
 	if err != nil {
 		return err
 	}
@@ -282,5 +310,8 @@ func DumpSuiteJSON(opts SuiteOptions, path string) error {
 		return err
 	}
 	defer f.Close()
-	return suite.WriteJSON(f)
+	if err := suite.WriteJSON(f); err != nil {
+		return err
+	}
+	return suite.Err()
 }
