@@ -37,6 +37,13 @@ import (
 )
 
 func main() {
+	// All the work happens in run so its deferred cleanups (signal stop,
+	// report-file close) execute before the process exits; os.Exit here
+	// would otherwise skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		run     = flag.String("run", "", "experiment id, comma-separated list, or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
@@ -75,12 +82,12 @@ func main() {
 	if *dump != "" {
 		if err := pdedesim.DumpSuiteJSONContext(ctx, opts, *dump); err != nil {
 			if interrupted(ctx) {
-				fatal(fmt.Errorf("interrupted (completed apps are in the checkpoint): %w", err))
+				err = fmt.Errorf("interrupted (completed apps are in the checkpoint): %w", err)
 			}
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Println("wrote", *dump)
-		return
+		return 0
 	}
 
 	if *list || *run == "" {
@@ -95,16 +102,18 @@ func main() {
 		if *run == "" {
 			fmt.Println("\nrun with: pdede-experiments -run <id>|all|ext")
 		}
-		return
+		return 0
 	}
 
 	var w io.Writer = os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer f.Close()
+		outFile = f
+		defer f.Close() // backstop for panics; the normal path closes below
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
@@ -142,13 +151,21 @@ func main() {
 		}
 		fmt.Fprintf(w, "\n[%s finished in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}
-	os.Exit(exit)
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pdede-experiments: close %s: %v\n", *out, err)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
 }
 
 // interrupted reports whether the signal context ended the run.
 func interrupted(ctx context.Context) bool { return ctx.Err() != nil }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "pdede-experiments:", err)
-	os.Exit(1)
+	return 1
 }

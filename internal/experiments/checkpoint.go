@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,16 +13,20 @@ import (
 	"repro/internal/core"
 )
 
-// checkpointVersion guards the on-disk schema.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk schema. Version 2 added the seed
+// and per-design configuration digests.
+const checkpointVersion = 2
 
 // checkpointFile is the JSON document persisted between runs. Results are
-// keyed by (app, design); the window options are stored so a checkpoint is
-// never silently reused for a differently-scaled sweep.
+// keyed by (app, design); the window options, seed and design digests are
+// stored so a checkpoint is never silently reused for a differently-scaled
+// or differently-configured sweep.
 type checkpointFile struct {
 	Version      int               `json:"version"`
 	TotalInstrs  uint64            `json:"total_instrs"`
 	WarmupInstrs uint64            `json:"warmup_instrs"`
+	Seed         uint64            `json:"seed"`
+	Designs      map[string]string `json:"design_digests,omitempty"`
 	Apps         []checkpointEntry `json:"apps"`
 }
 
@@ -29,32 +35,91 @@ type checkpointEntry struct {
 	Designs map[string]*core.Result `json:"designs"`
 }
 
+// CheckpointMeta identifies the sweep a checkpoint belongs to. A resume is
+// only valid when every field recorded in the file is compatible: equal
+// windows and seed, and — for each design name the file has seen before —
+// an equal configuration digest. Designs the file has not seen are merged
+// in, so experiments sharing a design set can share one checkpoint.
+type CheckpointMeta struct {
+	TotalInstrs  uint64
+	WarmupInstrs uint64
+	// Seed is Options.Seed. It only feeds retry jitter today, but it is
+	// part of the run's identity, so mixing results across seeds is
+	// conservatively refused.
+	Seed uint64
+	// Designs maps design name → configuration digest (see DesignDigests).
+	Designs map[string]string
+}
+
+// DesignDigests fingerprints each design's observable configuration: the
+// predictor it constructs (self-reported name and storage footprint) and
+// the core-config modifications it applies. Checkpoints persist these so a
+// resume after a design changed shape under an unchanged name is rejected
+// instead of silently mixing stale results with fresh ones. A constructor
+// that errors or panics digests as name-only (the run itself surfaces the
+// failure).
+func DesignDigests(designs []Design) map[string]string {
+	out := make(map[string]string, len(designs))
+	for i := range designs {
+		out[designs[i].Name] = designDigest(&designs[i])
+	}
+	return out
+}
+
+func designDigest(d *Design) string {
+	h := fnv.New64a()
+	io.WriteString(h, d.Name)
+	func() {
+		defer func() { recover() }()
+		tp, err := d.New()
+		if err != nil || tp == nil {
+			return
+		}
+		fmt.Fprintf(h, "|btb=%s/%d", tp.Name(), tp.StorageBits())
+	}()
+	if d.Mod != nil {
+		func() {
+			defer func() { recover() }()
+			cfg := core.Config{Params: core.Icelake()}
+			d.Mod(&cfg)
+			fmt.Fprintf(h, "|params=%+v|cpi=%g|perfdir=%t|ittage=%t|dir=%t|rets=%t|pipe=%t|measure=%d",
+				cfg.Params, cfg.BackendCPI, cfg.PerfectDirection, cfg.ITTAGE != nil,
+				cfg.Direction != nil, cfg.StoreReturnsInBTB, cfg.UsePipeline, cfg.MeasureInstrs)
+		}()
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Checkpoint stores completed (app, design) results between suite runs so
 // an interrupted or partially-failed sweep resumes instead of restarting.
 // Every Record rewrites the whole file via write-temp-then-rename, so the
 // file on disk is always a complete, parseable document.
 type Checkpoint struct {
-	path         string
-	totalInstrs  uint64
-	warmupInstrs uint64
+	path string
+	meta CheckpointMeta
 
-	mu   sync.Mutex
-	done map[string]map[string]*core.Result // app → design → result
+	mu      sync.Mutex
+	designs map[string]string                  // design → digest, across runs
+	done    map[string]map[string]*core.Result // app → design → result
 }
 
-// LoadCheckpoint opens (or initializes) the checkpoint at path for a sweep
-// with the given windows. A missing file is an empty checkpoint; an
-// existing file recorded under different windows is an error, since its
-// results would not be comparable.
-func LoadCheckpoint(path string, totalInstrs, warmupInstrs uint64) (*Checkpoint, error) {
+// LoadCheckpoint opens (or initializes) the checkpoint at path for the
+// sweep identified by meta. A missing file is an empty checkpoint; an
+// existing file recorded under different windows, a different seed, or a
+// different digest for a design name this sweep also uses is an error,
+// since its results would not be comparable.
+func LoadCheckpoint(path string, meta CheckpointMeta) (*Checkpoint, error) {
 	c := &Checkpoint{
-		path:         path,
-		totalInstrs:  totalInstrs,
-		warmupInstrs: warmupInstrs,
-		done:         make(map[string]map[string]*core.Result),
+		path:    path,
+		meta:    meta,
+		designs: make(map[string]string, len(meta.Designs)),
+		done:    make(map[string]map[string]*core.Result),
 	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
+		for name, dig := range meta.Designs {
+			c.designs[name] = dig
+		}
 		return c, nil
 	}
 	if err != nil {
@@ -65,11 +130,25 @@ func LoadCheckpoint(path string, totalInstrs, warmupInstrs uint64) (*Checkpoint,
 		return nil, fmt.Errorf("checkpoint %s: corrupt file: %w", path, err)
 	}
 	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", path, f.Version, checkpointVersion)
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d (delete it to start over)", path, f.Version, checkpointVersion)
 	}
-	if f.TotalInstrs != totalInstrs || f.WarmupInstrs != warmupInstrs {
+	if f.TotalInstrs != meta.TotalInstrs || f.WarmupInstrs != meta.WarmupInstrs {
 		return nil, fmt.Errorf("checkpoint %s: recorded for %d/%d instr windows, this run uses %d/%d (delete it or match the options)",
-			path, f.TotalInstrs, f.WarmupInstrs, totalInstrs, warmupInstrs)
+			path, f.TotalInstrs, f.WarmupInstrs, meta.TotalInstrs, meta.WarmupInstrs)
+	}
+	if f.Seed != meta.Seed {
+		return nil, fmt.Errorf("checkpoint %s: recorded with seed %d, this run uses %d (delete it or match the options)",
+			path, f.Seed, meta.Seed)
+	}
+	for name, dig := range f.Designs {
+		c.designs[name] = dig
+	}
+	for name, dig := range meta.Designs {
+		if old, ok := c.designs[name]; ok && old != dig {
+			return nil, fmt.Errorf("checkpoint %s: design %s changed configuration since the checkpoint was written (delete it to re-run)",
+				path, name)
+		}
+		c.designs[name] = dig
 	}
 	for _, e := range f.Apps {
 		if len(e.Designs) > 0 {
@@ -116,8 +195,10 @@ func (c *Checkpoint) Record(app string, results map[string]*core.Result) error {
 func (c *Checkpoint) flushLocked() error {
 	f := checkpointFile{
 		Version:      checkpointVersion,
-		TotalInstrs:  c.totalInstrs,
-		WarmupInstrs: c.warmupInstrs,
+		TotalInstrs:  c.meta.TotalInstrs,
+		WarmupInstrs: c.meta.WarmupInstrs,
+		Seed:         c.meta.Seed,
+		Designs:      c.designs,
 	}
 	apps := make([]string, 0, len(c.done))
 	for app := range c.done {

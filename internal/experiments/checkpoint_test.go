@@ -6,11 +6,17 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/btb"
 	"repro/internal/core"
 )
 
+// ckptMeta is the common sweep identity used by the checkpoint tests.
+func ckptMeta() CheckpointMeta {
+	return CheckpointMeta{TotalInstrs: 1000, WarmupInstrs: 100}
+}
+
 func TestCheckpointMissingFileIsEmpty(t *testing.T) {
-	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), 1000, 100)
+	c, err := LoadCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), ckptMeta())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +30,7 @@ func TestCheckpointMissingFileIsEmpty(t *testing.T) {
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "rt.ckpt")
-	c, err := LoadCheckpoint(path, 1000, 100)
+	c, err := LoadCheckpoint(path, ckptMeta())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +43,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := LoadCheckpoint(path, 1000, 100)
+	c2, err := LoadCheckpoint(path, ckptMeta())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,15 +61,105 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointWindowMismatchRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "win.ckpt")
-	c, _ := LoadCheckpoint(path, 1000, 100)
+	c, _ := LoadCheckpoint(path, ckptMeta())
 	if err := c.Record("a", map[string]*core.Result{"d": {}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path, 2000, 100); err == nil {
+	if _, err := LoadCheckpoint(path, CheckpointMeta{TotalInstrs: 2000, WarmupInstrs: 100}); err == nil {
 		t.Error("mismatched TotalInstrs accepted")
 	}
-	if _, err := LoadCheckpoint(path, 1000, 200); err == nil {
+	if _, err := LoadCheckpoint(path, CheckpointMeta{TotalInstrs: 1000, WarmupInstrs: 200}); err == nil {
 		t.Error("mismatched WarmupInstrs accepted")
+	}
+}
+
+func TestCheckpointSeedMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seed.ckpt")
+	meta := ckptMeta()
+	meta.Seed = 7
+	c, _ := LoadCheckpoint(path, meta)
+	if err := c.Record("a", map[string]*core.Result{"d": {}}); err != nil {
+		t.Fatal(err)
+	}
+	meta.Seed = 8
+	if _, err := LoadCheckpoint(path, meta); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("mismatched seed accepted: %v", err)
+	}
+}
+
+// The same design name recorded under a different configuration digest must
+// refuse to resume: silently mixing results from two shapes of "b256"
+// would corrupt the suite's science.
+func TestCheckpointDesignChangeRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "design.ckpt")
+	meta := ckptMeta()
+	meta.Designs = DesignDigests([]Design{BaselineDesign("b", 256)})
+	c, err := LoadCheckpoint(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("a", map[string]*core.Result{"b": {}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, same config: resume is fine.
+	if _, err := LoadCheckpoint(path, meta); err != nil {
+		t.Fatalf("unchanged design rejected: %v", err)
+	}
+	// Same name, different entry count: resume must be refused.
+	changed := ckptMeta()
+	changed.Designs = DesignDigests([]Design{BaselineDesign("b", 512)})
+	if _, err := LoadCheckpoint(path, changed); err == nil || !strings.Contains(err.Error(), "design b") {
+		t.Errorf("changed design accepted: %v", err)
+	}
+}
+
+// Different experiments run disjoint design sets against one checkpoint
+// path; only overlapping names are validated, and new digests merge in.
+func TestCheckpointDisjointDesignsMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "merge.ckpt")
+	m1 := ckptMeta()
+	m1.Designs = DesignDigests([]Design{BaselineDesign("x", 256)})
+	c, _ := LoadCheckpoint(path, m1)
+	if err := c.Record("a", map[string]*core.Result{"x": {}}); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := ckptMeta()
+	m2.Designs = DesignDigests([]Design{BaselineDesign("y", 512)})
+	c2, err := LoadCheckpoint(path, m2)
+	if err != nil {
+		t.Fatalf("disjoint design set rejected: %v", err)
+	}
+	if err := c2.Record("a", map[string]*core.Result{"y": {}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third load sees both digests, so changing x is still caught.
+	bad := ckptMeta()
+	bad.Designs = DesignDigests([]Design{BaselineDesign("x", 1024)})
+	if _, err := LoadCheckpoint(path, bad); err == nil {
+		t.Error("changed design accepted after digest merge")
+	}
+}
+
+func TestDesignDigestsDistinguishConfigs(t *testing.T) {
+	d1 := DesignDigests([]Design{BaselineDesign("b", 256)})["b"]
+	d2 := DesignDigests([]Design{BaselineDesign("b", 512)})["b"]
+	if d1 == d2 {
+		t.Error("digest identical across entry counts")
+	}
+	// Mod hooks (core-config changes) must alter the digest too.
+	plain := BaselineDesign("b", 256)
+	perf := WithPerfectDirection(BaselineDesign("b", 256))
+	perf.Name = "b" // same name, different core config
+	if DesignDigests([]Design{plain})["b"] == DesignDigests([]Design{perf})["b"] {
+		t.Error("digest identical across Mod hooks")
+	}
+	// A crashing constructor digests as name-only instead of panicking.
+	boom := Design{Name: "boom", New: func() (btb.TargetPredictor, error) { panic("nope") }}
+	if got := DesignDigests([]Design{boom})["boom"]; got == "" {
+		t.Error("panicking constructor produced no digest")
 	}
 }
 
@@ -72,7 +168,7 @@ func TestCheckpointCorruptFileRejected(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path, 1000, 100); err == nil || !strings.Contains(err.Error(), "corrupt") {
+	if _, err := LoadCheckpoint(path, ckptMeta()); err == nil || !strings.Contains(err.Error(), "corrupt") {
 		t.Errorf("corrupt file error = %v", err)
 	}
 }
@@ -82,12 +178,12 @@ func TestCheckpointCorruptFileRejected(t *testing.T) {
 func TestCheckpointAtomicFlush(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "atomic.ckpt")
-	c, _ := LoadCheckpoint(path, 1000, 100)
+	c, _ := LoadCheckpoint(path, ckptMeta())
 	for i, app := range []string{"a", "b", "c"} {
 		if err := c.Record(app, map[string]*core.Result{"d": {}}); err != nil {
 			t.Fatal(err)
 		}
-		c2, err := LoadCheckpoint(path, 1000, 100)
+		c2, err := LoadCheckpoint(path, ckptMeta())
 		if err != nil {
 			t.Fatalf("after record %d: %v", i, err)
 		}

@@ -26,7 +26,10 @@ func expFig1() Experiment {
 			add := func(label string, idx []int) {
 				var fe, share, all []float64
 				for _, i := range idx {
-					res := suite.Apps[i].Results[NameBaseline]
+					res := suite.Apps[i].Result(NameBaseline)
+					if res == nil {
+						continue
+					}
 					fe = append(fe, res.FrontendStallFrac())
 					share = append(share, res.BTBResteerShareOfStalls())
 					stalls := res.FrontendBubbles + res.BTBResteerCycles + res.DirResteerCycles + res.RetResteerCycles
@@ -40,9 +43,11 @@ func expFig1() Experiment {
 			for cat, idx := range suite.ByCategory() {
 				add(cat.String(), idx)
 			}
-			allIdx := make([]int, len(suite.Apps))
-			for i := range allIdx {
-				allIdx[i] = i
+			var allIdx []int
+			for i := range suite.Apps {
+				if !suite.Apps[i].Failed() {
+					allIdx = append(allIdx, i)
+				}
 			}
 			add("ALL", allIdx)
 			_, err = fmt.Fprint(w, tb)

@@ -125,7 +125,7 @@ func extRepl() Experiment {
 			tb := metrics.NewTable("policy", "mean BTB MPKI", "IPC gain vs srrip")
 			for _, d := range []string{"baseline-srrip", "baseline-lru", "baseline-random", "baseline-ghrp"} {
 				var mpki []float64
-				for _, a := range suite.Apps {
+				for _, a := range suite.OK(d) {
 					mpki = append(mpki, a.Results[d].BTBMPKI())
 				}
 				tb.AddRow(d, fmt.Sprintf("%.3f", metrics.Mean(mpki)),
@@ -235,8 +235,9 @@ func extWrongPath() Experiment {
 			tb := metrics.NewTable("wrong-path lines", "baseline ICache miss rate", "PDede-ME IPC gain")
 			for _, n := range lines {
 				var mr []float64
-				for _, a := range suite.Apps {
-					res := a.Results[fmt.Sprintf("baseline-wp%d", n)]
+				bn := fmt.Sprintf("baseline-wp%d", n)
+				for _, a := range suite.OK(bn) {
+					res := a.Results[bn]
 					mr = append(mr, float64(res.ICacheMisses)/float64(res.ICacheAccesses))
 				}
 				tb.AddRow(fmt.Sprint(n),

@@ -54,8 +54,12 @@ func expFig10() Experiment {
 				var gains, reds []float64
 				for _, i := range idx {
 					a := suite.Apps[i]
-					gains = append(gains, a.Results[NameMultiEntry].Speedup(a.Results[NameBaseline]))
-					reds = append(reds, a.Results[NameMultiEntry].MPKIReduction(a.Results[NameBaseline]))
+					me, base := a.Result(NameMultiEntry), a.Result(NameBaseline)
+					if me == nil || base == nil {
+						continue
+					}
+					gains = append(gains, me.Speedup(base))
+					reds = append(reds, me.MPKIReduction(base))
 				}
 				tb.AddRow(cat.String(), fmt.Sprint(len(idx)),
 					metrics.Pct(metrics.GeoMeanSpeedup(gains)), metrics.Pct0(metrics.Mean(reds)))
@@ -66,7 +70,7 @@ func expFig10() Experiment {
 			fmt.Fprintln(w, "\nPer-class MPKI reduction (Multi-Entry vs baseline, suite aggregate):")
 			var missBase, missME [isa.NumClasses]uint64
 			var instr uint64
-			for _, a := range suite.Apps {
+			for _, a := range suite.OK(NameBaseline, NameMultiEntry) {
 				for cl := 0; cl < isa.NumClasses; cl++ {
 					missBase[cl] += a.Results[NameBaseline].BTBMissByClass[cl]
 					missME[cl] += a.Results[NameMultiEntry].BTBMissByClass[cl]
@@ -91,7 +95,7 @@ func expFig10() Experiment {
 				gain float64
 			}
 			var curve []appGain
-			for _, a := range suite.Apps {
+			for _, a := range suite.OK(NameBaseline, NameMultiEntry) {
 				curve = append(curve, appGain{a.App.Name, a.Results[NameMultiEntry].Speedup(a.Results[NameBaseline])})
 			}
 			sort.Slice(curve, func(i, j int) bool { return curve[i].gain < curve[j].gain })
@@ -252,7 +256,7 @@ func expFig12b() Experiment {
 				pd := fmt.Sprintf("pdede-me-%d", n)
 				// JITed server apps called out by §5.8.
 				var jit []float64
-				for _, a := range suite.Apps {
+				for _, a := range suite.OK(base, pd) {
 					if len(a.App.Name) >= 18 && a.App.Name[:18] == "Server-jit-backend" {
 						jit = append(jit, a.Results[pd].Speedup(a.Results[base]))
 					}
@@ -290,7 +294,7 @@ func expFig12c() Experiment {
 			}
 			meanMPKI := func(design string) float64 {
 				var xs []float64
-				for _, a := range suite.Apps {
+				for _, a := range suite.OK(design) {
 					xs = append(xs, a.Results[design].BTBMPKI())
 				}
 				return metrics.Mean(xs)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/btb"
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -447,7 +448,7 @@ func TestCheckpointPartialApp(t *testing.T) {
 		t.Fatalf("setup: err=%v results=%d, want 1 completed design and an error", a.Err, len(a.Results))
 	}
 
-	ck, err := LoadCheckpoint(path, opts.TotalInstrs, opts.WarmupInstrs)
+	ck, err := LoadCheckpoint(path, CheckpointMeta{TotalInstrs: opts.TotalInstrs, WarmupInstrs: opts.WarmupInstrs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,6 +505,93 @@ func TestCharacterizeSuiteKeepGoing(t *testing.T) {
 	}
 	if r.Err() == nil || !strings.Contains(r.Err().Error(), "tiny-1") {
 		t.Errorf("runner did not aggregate the failure: %v", r.Err())
+	}
+}
+
+// A real experiment report over a keep-going suite with one failed app
+// must complete: every aggregation that loops suite.Apps directly has to
+// skip the failed app instead of dereferencing its missing results.
+func TestKeepGoingExperimentReport(t *testing.T) {
+	for _, id := range []string{"fig1", "fig10"} {
+		t.Run(id, func(t *testing.T) {
+			opts := tinyOpts(tinyCatalog(3))
+			opts.KeepGoing = true
+			opts.BuildTrace = func(app workload.Config, total uint64) (trace.Source, error) {
+				if app.Name == "tiny-1" {
+					return nil, fmt.Errorf("injected build failure")
+				}
+				return buildSource(app, total)
+			}
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			r := NewRunner(opts)
+			var buf strings.Builder
+			if err := e.Run(r, &buf); err != nil {
+				t.Fatalf("%s report failed: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s wrote an empty report", id)
+			}
+			if r.Err() == nil || !strings.Contains(r.Err().Error(), "tiny-1") {
+				t.Errorf("failure not aggregated on the runner: %v", r.Err())
+			}
+		})
+	}
+}
+
+// Apps cancelled while still queued are interruptions, not failures:
+// Attempts stays 0, Suite.Err stays clean, and the interruption surfaces
+// as RunContext's returned error.
+func TestCancelledQueuedAppsAreNotFailures(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := tinyOpts(tinyCatalog(3))
+	opts.KeepGoing = true
+	r := NewRunner(opts)
+	suite, err := r.RunContext(ctx, tinyDesigns())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range suite.Apps {
+		a := &suite.Apps[i]
+		if !a.Unstarted() || a.Attempts != 0 {
+			t.Errorf("%s: unstarted=%v attempts=%d err=%v, want queued-cancelled marker",
+				a.App.Name, a.Unstarted(), a.Attempts, a.Err)
+		}
+	}
+	if got := suite.Err(); got != nil {
+		t.Errorf("Suite.Err() = %v, want nil (no app actually failed)", got)
+	}
+	if got := r.Err(); got != nil {
+		t.Errorf("Runner.Err() = %v, want nil", got)
+	}
+}
+
+// Suite.OK returns only apps holding every named design's result.
+func TestSuiteOK(t *testing.T) {
+	full := AppResult{App: workload.Config{Name: "full"}, Results: map[string]*core.Result{"a": {}, "b": {}}}
+	partial := AppResult{App: workload.Config{Name: "partial"}, Results: map[string]*core.Result{"a": {}}}
+	failed := AppResult{App: workload.Config{Name: "failed"},
+		Results: map[string]*core.Result{"a": {}, "b": {}}, Err: errors.New("boom")}
+	s := &Suite{Apps: []AppResult{full, partial, failed, {}}}
+	if got := s.OK("a", "b"); len(got) != 1 || got[0].App.Name != "full" {
+		t.Errorf("OK(a,b) = %d apps, want just full", len(got))
+	}
+	if got := s.OK("a"); len(got) != 2 {
+		t.Errorf("OK(a) = %d apps, want full and partial", len(got))
+	}
+	// No designs named: every non-failed app, including empty ones.
+	if got := s.OK(); len(got) != 3 {
+		t.Errorf("OK() = %d apps, want 3 (failed app excluded)", len(got))
+	}
+	if r := failed.Result("a"); r == nil {
+		t.Error("Result must still expose a failed app's partial results")
+	}
+	var zero AppResult
+	if r := zero.Result("a"); r != nil {
+		t.Error("zero-value AppResult returned a result")
 	}
 }
 

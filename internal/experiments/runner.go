@@ -64,7 +64,9 @@ type Options struct {
 	KeepGoing bool
 	// CheckpointPath enables checkpoint/resume: completed (app, design)
 	// results are atomically persisted after each app, and a later run
-	// with the same path and window options skips them.
+	// with the same path skips them. Resume is refused when the window
+	// options, Seed, or a shared design's configuration digest changed
+	// since the checkpoint was written (stale results must not mix in).
 	CheckpointPath string
 
 	// Catalog overrides the application catalog (nil = workload.Catalog()).
@@ -161,7 +163,10 @@ type AppResult struct {
 
 	// Err is non-nil when the app failed (build error, run error, panic,
 	// or deadline); Results then holds whatever designs completed before
-	// the failure.
+	// the failure. Cancelling a sweep also manufactures per-app context
+	// errors: apps still queued stay Unstarted (Attempts == 0) and are
+	// excluded from Suite.Err, while apps cancelled mid-simulation keep
+	// their context error as a (partial-run) failure.
 	Err error
 	// Attempts counts how many times the app was attempted (0 for apps
 	// restored wholesale from a checkpoint).
@@ -175,6 +180,20 @@ type AppResult struct {
 // result set.
 func (a *AppResult) Failed() bool { return a.Err != nil }
 
+// Unstarted reports whether the app was cancelled while still queued: no
+// attempt ever ran (Attempts == 0) and Err is a bare context error. Such
+// apps were interrupted, not broken, so Suite.Err excludes them;
+// RunContext reports the interruption via the context's error instead.
+func (a *AppResult) Unstarted() bool {
+	return a.Attempts == 0 && !a.Skipped &&
+		(errors.Is(a.Err, context.Canceled) || errors.Is(a.Err, context.DeadlineExceeded))
+}
+
+// Result returns the app's result for design, or nil when the app never
+// completed it (failure, cancellation, or a design absent from the run).
+// Safe on zero-value AppResults.
+func (a *AppResult) Result(design string) *core.Result { return a.Results[design] }
+
 // Suite is the result of running designs over the app catalog.
 type Suite struct {
 	Apps    []AppResult
@@ -182,17 +201,47 @@ type Suite struct {
 }
 
 // Err joins every per-app failure (nil when the whole suite succeeded).
+// Apps cancelled before their first attempt (see Unstarted) are excluded:
+// an interrupted sweep should not report the queued remainder as broken
+// apps alongside the one real failure that may have cancelled it.
 func (s *Suite) Err() error {
 	var errs []error
 	for i := range s.Apps {
-		if a := &s.Apps[i]; a.Failed() {
+		if a := &s.Apps[i]; a.Failed() && !a.Unstarted() {
 			errs = append(errs, fmt.Errorf("app %s: %w", a.App.Name, a.Err))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// Failed returns the indices of failed apps.
+// OK returns the apps that completed every named design. Failed apps may
+// carry partial result maps and cancelled-before-start apps carry none,
+// so report code iterating a suite must go through OK (or Result plus a
+// nil check) rather than indexing Results and calling methods on the
+// looked-up pointer.
+func (s *Suite) OK(designs ...string) []*AppResult {
+	var out []*AppResult
+	for i := range s.Apps {
+		a := &s.Apps[i]
+		if a.Failed() {
+			continue
+		}
+		complete := true
+		for _, d := range designs {
+			if a.Results[d] == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Failed returns the indices of failed apps, including apps cancelled
+// while still queued (use Unstarted to tell the two apart).
 func (s *Suite) Failed() []int {
 	var out []int
 	for i := range s.Apps {
@@ -321,7 +370,12 @@ func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, erro
 	var ckpt *Checkpoint
 	if r.Opts.CheckpointPath != "" {
 		var err error
-		ckpt, err = LoadCheckpoint(r.Opts.CheckpointPath, r.Opts.TotalInstrs, r.Opts.WarmupInstrs)
+		ckpt, err = LoadCheckpoint(r.Opts.CheckpointPath, CheckpointMeta{
+			TotalInstrs:  r.Opts.TotalInstrs,
+			WarmupInstrs: r.Opts.WarmupInstrs,
+			Seed:         r.Opts.Seed,
+			Designs:      DesignDigests(designs),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -371,7 +425,7 @@ func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, erro
 			mu.Lock()
 			defer mu.Unlock()
 			suite.Apps[i] = res
-			if res.Err != nil && !r.Opts.KeepGoing && firstEr == nil {
+			if res.Err != nil && !r.Opts.KeepGoing && firstEr == nil && !res.Unstarted() {
 				firstEr = fmt.Errorf("app %s: %w", apps[i].Name, res.Err)
 				cancel() // fail fast: stop the rest of the suite
 			}
@@ -382,14 +436,17 @@ func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, erro
 	if firstEr != nil {
 		return nil, firstEr
 	}
+	joined := suite.Err()
+	if joined != nil {
+		// Note failures before any return below so Runner.Err sees apps
+		// that failed for real even when the context was also cancelled.
+		r.noteFailures(joined)
+	}
 	if err := ctx.Err(); err != nil {
 		return suite, err
 	}
-	if joined := suite.Err(); joined != nil {
-		r.noteFailures(joined)
-		if len(suite.Failed()) == len(suite.Apps) {
-			return suite, fmt.Errorf("all %d apps failed: %w", len(suite.Apps), joined)
-		}
+	if joined != nil && len(suite.Failed()) == len(suite.Apps) {
+		return suite, fmt.Errorf("all %d apps failed: %w", len(suite.Apps), joined)
 	}
 	return suite, nil
 }
@@ -414,6 +471,13 @@ func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Desi
 			r.logf("runner: app %s restored from checkpoint", app.Name)
 			return out
 		}
+	}
+
+	// Cancelled before any work: leave Attempts at 0 so the app reads as
+	// unstarted (see AppResult.Unstarted) rather than failed.
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
 	}
 
 	appCtx := ctx
