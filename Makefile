@@ -1,10 +1,15 @@
 # Developer entry points. `make check` is the gate to run before sending a
 # change: build + vet + full tests, plus the race detector over the
-# concurrent suite-runner and trace paths.
+# concurrent suite-runner and trace paths. `make check-deep` adds the
+# differential-oracle sweep (internal/oracle) at full depth.
 
 GO ?= go
 
-.PHONY: build test vet race fuzz check
+# Minimum combined statement coverage for the design packages (internal/btb
+# + internal/pdede) enforced by `make cover`.
+COVER_MIN ?= 80.0
+
+.PHONY: build test vet race fuzz cover check check-deep
 
 build:
 	$(GO) build ./...
@@ -15,15 +20,39 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The experiment harness fans apps out across goroutines and the fault
-# layer is exercised from them; keep both race-checked on every run.
+# The experiment harness fans apps out across goroutines, the fault layer is
+# exercised from them, the core models run under -parallel app sweeps, and
+# the differential runner drives parallel subtests; keep all of it
+# race-checked on every run.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/trace/...
+	$(GO) test -race ./internal/experiments/... ./internal/trace/... ./internal/core/... ./internal/oracle/...
 
-# Short coverage-guided fuzz of the trace decoder (the seed corpus also
-# runs as a plain test inside `make test`).
+# Short coverage-guided fuzz sessions (each seed corpus also runs as a plain
+# test inside `make test`): the trace decoder, the 57-bit VA component
+# algebra, and PDede's delta encode/decode path.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzDecoder -fuzztime 20s
+	$(GO) test ./internal/addr/ -fuzz FuzzComponentRoundTrip -fuzztime 10s
+	$(GO) test ./internal/addr/ -fuzz FuzzBuildDecompose -fuzztime 10s
+	$(GO) test ./internal/pdede/ -fuzz FuzzDelta -fuzztime 20s
 
-check: vet test race
+# Statement coverage of the BTB design packages, gated at COVER_MIN: the
+# audit/oracle work exists to keep these structures honest, so their own
+# test coverage must not rot.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/btb/ ./internal/pdede/
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "cover: internal/btb + internal/pdede total $$total% (min $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
+		|| { echo "cover: FAIL — below $(COVER_MIN)%"; exit 1; }
+
+check: vet test race cover
 	@echo "check: ok"
+
+# Differential-oracle sweep at depth: every registered design runs in
+# lockstep with its unbounded reference oracle over 8 catalog apps with
+# periodic invariant audits. Semantic divergences and audit failures fail
+# the target; capacity/aliasing divergences are legal and logged.
+check-deep: build
+	CHECK_DEEP_APPS=8 $(GO) test ./internal/oracle/ -run TestCheckDeep -v -timeout 30m
+	@echo "check-deep: ok"

@@ -153,6 +153,39 @@ func BenchmarkCoreSimulation(b *testing.B) {
 	b.ReportMetric(float64(tr.Instructions()), "instrs/op")
 }
 
+// BenchmarkCoreSimulationAudit guards the cost of the invariant-audit hook:
+// the "off" case must track BenchmarkCoreSimulation (a disabled audit is one
+// integer compare per record), and the "every-4096" case shows what
+// -selfcheck actually costs.
+func BenchmarkCoreSimulationAudit(b *testing.B) {
+	app := workload.Default()
+	app.StaticBranches = 8000
+	_, tr, err := workload.Build(app, 500_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		every uint64
+	}{
+		{"off", 0},
+		{"every-4096", 4096},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := pdedesim.DefaultSimOptions()
+			opts.WarmupInstrs = 0
+			opts.AuditEvery = bc.every
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pdedesim.SimulateTrace(app, tr, pdedesim.PDedeMultiEntry(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Instructions()), "instrs/op")
+		})
+	}
+}
+
 func BenchmarkTraceCodecRoundTrip(b *testing.B) {
 	cfg := workload.Default()
 	cfg.StaticBranches = 4000

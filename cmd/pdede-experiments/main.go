@@ -57,6 +57,7 @@ func run() int {
 		retries = flag.Int("retries", 0, "extra attempts per app after a transient failure")
 		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base retry delay (doubles per attempt, capped, jittered)")
 		keep    = flag.Bool("keep-going", false, "record per-app failures and keep sweeping instead of aborting on the first")
+		check   = flag.Bool("selfcheck", false, "deep-audit every design's internal invariants every few thousand records (slower; fails on the first violation)")
 		verbose = flag.Bool("v", false, "log per-app progress to stderr")
 	)
 	flag.Parse()
@@ -74,6 +75,9 @@ func run() int {
 		RetryBackoff:   *backoff,
 		KeepGoing:      *keep,
 		CheckpointPath: *ckpt,
+	}
+	if *check {
+		opts.SelfCheckEvery = 4096
 	}
 	if *verbose || *keep || *ckpt != "" {
 		opts.Log = os.Stderr

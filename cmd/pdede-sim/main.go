@@ -34,6 +34,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 1_500_000, "warmup instructions (unmeasured)")
 		list    = flag.Bool("list", false, "list catalog applications and exit")
 		perfDir = flag.Bool("perfect-direction", false, "use a perfect direction predictor (§5.5)")
+		check   = flag.Bool("check", false, "differential-check each design against its reference oracle instead of simulating")
 	)
 	flag.Parse()
 
@@ -92,6 +93,11 @@ func main() {
 		}
 	}
 
+	if *check {
+		runCheck(ctx, app, available, picked, *instrs)
+		return
+	}
+
 	fmt.Printf("app %s (%s, %d static branches), %d instrs (%d warmup)\n\n",
 		app.Name, app.Category, app.StaticBranches, *instrs, *warmup)
 	tr, err := pdedesim.BuildTrace(app, opts.TotalInstrs)
@@ -120,6 +126,33 @@ func main() {
 			name, res.IPC(), res.BTBMPKI(), res.DirMPKI(),
 			100*res.FrontendStallFrac(), 100*res.BTBResteerShareOfStalls(), vs)
 	}
+}
+
+// runCheck drives each picked design and its matching unbounded oracle in
+// lockstep over the app's trace, printing the divergence breakdown. Legal
+// divergences (capacity, aliasing, hysteresis) are informational; a semantic
+// divergence or an audit failure exits non-zero.
+func runCheck(ctx context.Context, app pdedesim.App, available map[string]func() (pdedesim.TargetPredictor, error), picked []string, instrs uint64) {
+	fmt.Printf("differential check: app %s, %d instrs\n\n", app.Name, instrs)
+	failed := false
+	for _, name := range picked {
+		rep, err := pdedesim.CheckDesign(ctx, app, available[name], instrs, pdedesim.DiffOptions{})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(errors.New("interrupted"))
+			}
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("%-12s %s\n", name, rep.Summary())
+		if err := rep.Err(); err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "pdede-sim: %v\n", err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("\nall designs clean: every divergence classified as a legal capacity/aliasing effect")
 }
 
 func fatal(err error) {

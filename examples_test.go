@@ -1,0 +1,47 @@
+package pdedesim_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exampleDirs enumerates every runnable example; a new example must be
+// added here so documentation drift fails `make test` instead of rotting.
+var exampleDirs = []string{
+	"quickstart",
+	"custom-btb",
+	"storage-sweep",
+	"datacenter-study",
+}
+
+// TestExamplesCompileAndRun builds each example into a scratch directory and
+// executes it: the examples are the public API's living documentation, so an
+// API change that breaks them must break the test suite, not a user.
+func TestExamplesCompileAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			var stdout, stderr bytes.Buffer
+			run := exec.Command(bin)
+			run.Stdout = &stdout
+			run.Stderr = &stderr
+			if err := run.Run(); err != nil {
+				t.Fatalf("run failed: %v\nstderr:\n%s", err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package addr
+
+import "testing"
+
+// FuzzComponentRoundTrip pins the 57-bit VA component algebra: any address
+// decomposes into region/page/offset and recomposes bit-exactly, masking is
+// idempotent, and the SamePage/WithOffset helpers agree with the
+// decomposition. These identities are what PDede's partitioning and delta
+// encoding rest on — an address that does not round-trip its components
+// corrupts every reconstructed target.
+func FuzzComponentRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << (VABits - 1))
+	f.Add(Mask)
+	f.Add(^uint64(0))
+	f.Add(uint64(0x1ffc7bb4003c9e4))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		v := New(raw)
+		if uint64(v)&^Mask != 0 {
+			t.Fatalf("New(%#x) kept bits above %d: %#x", raw, VABits, uint64(v))
+		}
+		if New(uint64(v)) != v {
+			t.Fatalf("masking not idempotent for %#x", raw)
+		}
+		r, p, o := v.Region(), v.Page(), v.Offset()
+		if r >= 1<<RegionBits || p >= 1<<PageBits || o >= 1<<OffsetBits {
+			t.Fatalf("component out of range: r=%#x p=%#x o=%#x", r, p, o)
+		}
+		if Build(r, p, o) != v {
+			t.Fatalf("Build(Region, Page, Offset) = %v, want %v", Build(r, p, o), v)
+		}
+		if v.PageAddr() != r<<PageBits|p {
+			t.Fatalf("PageAddr %#x != region·page %#x", v.PageAddr(), r<<PageBits|p)
+		}
+		if got := v.WithOffset(o); got != v {
+			t.Fatalf("WithOffset(own offset) = %v, want %v", got, v)
+		}
+	})
+}
+
+// FuzzBuildDecompose is the inverse direction: Build masks each component to
+// its field width, and the built address reads back exactly the masked
+// components.
+func FuzzBuildDecompose(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(0x7ff1eed), uint64(0x3c), uint64(0x9e4))
+	f.Fuzz(func(t *testing.T, region, page, offset uint64) {
+		v := Build(region, page, offset)
+		if v.Region() != region&(1<<RegionBits-1) {
+			t.Fatalf("Region = %#x, want %#x", v.Region(), region&(1<<RegionBits-1))
+		}
+		if v.Page() != page&(1<<PageBits-1) {
+			t.Fatalf("Page = %#x, want %#x", v.Page(), page&(1<<PageBits-1))
+		}
+		if v.Offset() != offset&(1<<OffsetBits-1) {
+			t.Fatalf("Offset = %#x, want %#x", v.Offset(), offset&(1<<OffsetBits-1))
+		}
+		// Two addresses built from the same region+page are SamePage
+		// regardless of offsets.
+		w := Build(region, page, offset+1)
+		if !v.SamePage(w) {
+			t.Fatalf("same region+page not SamePage: %v vs %v", v, w)
+		}
+	})
+}
+
+// FuzzWithOffset checks the delta-reconstruction primitive in isolation:
+// pc.WithOffset(o) stays in pc's page and lands on offset o&offsetMask.
+func FuzzWithOffset(f *testing.F) {
+	f.Add(uint64(0x12345678), uint64(0x9e4))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, raw, offset uint64) {
+		pc := New(raw)
+		got := pc.WithOffset(offset)
+		if !pc.SamePage(got) {
+			t.Fatalf("WithOffset left the page: %v -> %v", pc, got)
+		}
+		if got.Offset() != offset&(1<<OffsetBits-1) {
+			t.Fatalf("WithOffset(%#x).Offset() = %#x", offset, got.Offset())
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/predictor"
@@ -80,8 +81,14 @@ func RunPipelineContext(ctx context.Context, cfg Config, src trace.Source) (*Res
 	}
 	p.ftqFree = make([]float64, cfg.Params.FetchQueueEntries)
 
+	var auditable btb.Auditable
+	if cfg.AuditEvery != 0 {
+		auditable, _ = cfg.BTB.(btb.Auditable)
+	}
+
 	r := src.Open()
-	for records := uint64(0); ; records++ {
+	records := uint64(0)
+	for ; ; records++ {
 		if records&ctxCheckMask == 0 {
 			if err := checkCtx(ctx, records); err != nil {
 				return nil, err
@@ -95,8 +102,18 @@ func RunPipelineContext(ctx context.Context, cfg Config, src trace.Source) (*Res
 			return nil, err
 		}
 		p.step(b)
+		if auditable != nil && records%cfg.AuditEvery == cfg.AuditEvery-1 {
+			if err := auditBTB(auditable, records); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.MeasureInstrs != 0 && p.measured >= cfg.MeasureInstrs {
 			break
+		}
+	}
+	if auditable != nil {
+		if err := auditBTB(auditable, records); err != nil {
+			return nil, err
 		}
 	}
 	if p.retireEnd > p.measureStart {

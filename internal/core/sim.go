@@ -67,6 +67,21 @@ type Config struct {
 	WarmupInstrs uint64
 	// MeasureInstrs bounds the measured window (0 = to end of trace).
 	MeasureInstrs uint64
+
+	// AuditEvery, when non-zero, deep-checks the BTB's internal invariants
+	// (btb.Auditable) every N records and aborts the run on the first
+	// violation. 0 disables auditing; the only residual per-record cost is
+	// one integer compare.
+	AuditEvery uint64
+}
+
+// auditBTB runs the configured periodic deep-check, wrapping failures with
+// enough context to locate the corrupting record window.
+func auditBTB(a btb.Auditable, records uint64) error {
+	if err := a.Audit(); err != nil {
+		return fmt.Errorf("core: BTB audit failed at record %d: %w", records, err)
+	}
+	return nil
 }
 
 // Run replays one trace through the configured core.
@@ -119,8 +134,14 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, err
 		s.effCPI = min
 	}
 
+	var auditable btb.Auditable
+	if cfg.AuditEvery != 0 {
+		auditable, _ = cfg.BTB.(btb.Auditable)
+	}
+
 	r := src.Open()
-	for records := uint64(0); ; records++ {
+	records := uint64(0)
+	for ; ; records++ {
 		if records&ctxCheckMask == 0 {
 			if err := checkCtx(ctx, records); err != nil {
 				return nil, err
@@ -134,8 +155,18 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, err
 			return nil, err
 		}
 		s.step(b)
+		if auditable != nil && records%cfg.AuditEvery == cfg.AuditEvery-1 {
+			if err := auditBTB(auditable, records); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.MeasureInstrs != 0 && s.measured >= cfg.MeasureInstrs {
 			break
+		}
+	}
+	if auditable != nil {
+		if err := auditBTB(auditable, records); err != nil {
+			return nil, err
 		}
 	}
 	return s.res, nil

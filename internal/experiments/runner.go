@@ -34,6 +34,10 @@ type Options struct {
 	TotalInstrs uint64
 	// WarmupInstrs is the unmeasured prefix.
 	WarmupInstrs uint64
+	// SelfCheckEvery, when non-zero, deep-audits every design's internal
+	// invariants every N records during simulation (core.Config.AuditEvery)
+	// and fails the (app, design) run on the first violation.
+	SelfCheckEvery uint64
 	// Parallelism bounds concurrent app simulations (0 = GOMAXPROCS).
 	Parallelism int
 
@@ -564,6 +568,7 @@ func (r *Runner) runOne(ctx context.Context, app workload.Config, tr trace.Sourc
 		BackendCPI:   app.BackendCPI,
 		BTB:          tp,
 		WarmupInstrs: r.Opts.WarmupInstrs,
+		AuditEvery:   r.Opts.SelfCheckEvery,
 	}
 	if d.Mod != nil {
 		d.Mod(&cfg)

@@ -1,0 +1,55 @@
+package multilevel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+)
+
+func TestAuditCleanAfterTraining(t *testing.T) {
+	tl := mk(t, 256)
+	for i := 0; i < 4000; i++ {
+		pc := addr.Build(1, uint64(i/256), uint64((i%256)*16))
+		tl.Update(taken(pc, addr.Build(4, uint64(i/2), 0x40)), tl.Lookup(pc))
+	}
+	if err := tl.Audit(); err != nil {
+		t.Fatalf("audit of a healthy hierarchy failed: %v", err)
+	}
+}
+
+// brokenBTB is an Auditable predictor whose deep check always fails,
+// standing in for a corrupted level.
+type brokenBTB struct{ btb.TargetPredictor }
+
+var errBroken = errors.New("invariant violated")
+
+func (brokenBTB) Name() string { return "broken" }
+func (brokenBTB) Audit() error { return errBroken }
+func (brokenBTB) Lookup(addr.VA) btb.Lookup {
+	return btb.Lookup{}
+}
+func (brokenBTB) Update(isa.Branch, btb.Lookup) {}
+func (brokenBTB) StorageBits() uint64           { return 0 }
+func (brokenBTB) Reset()                        {}
+
+func TestAuditPropagatesLevelFailure(t *testing.T) {
+	l0, err := btb.NewBaseline(btb.BaselineConfig{Entries: 256, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(l0, brokenBTB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditErr := tl.Audit()
+	if !errors.Is(auditErr, errBroken) {
+		t.Fatalf("audit did not propagate the level failure: %v", auditErr)
+	}
+	if !strings.Contains(auditErr.Error(), "broken") {
+		t.Errorf("audit error does not name the failing level: %v", auditErr)
+	}
+}

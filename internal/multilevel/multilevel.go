@@ -71,6 +71,20 @@ func (t *TwoLevel) StorageBits() uint64 {
 	return t.l0.StorageBits() + t.l1.StorageBits()
 }
 
+// Audit implements btb.Auditable by delegating to whichever levels are
+// themselves auditable (the hierarchy adds no cross-level bookkeeping: L0
+// promotion reuses the ordinary Update path).
+func (t *TwoLevel) Audit() error {
+	for _, lvl := range []btb.TargetPredictor{t.l0, t.l1} {
+		if a, ok := lvl.(btb.Auditable); ok {
+			if err := a.Audit(); err != nil {
+				return fmt.Errorf("multilevel: %s: %w", lvl.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
 // Reset implements btb.TargetPredictor.
 func (t *TwoLevel) Reset() {
 	t.l0.Reset()

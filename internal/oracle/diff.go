@@ -1,0 +1,369 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Class labels one design/oracle disagreement. The legal classes are the
+// mechanisms a bounded BTB is *allowed* to differ by — capacity, tag
+// aliasing, replacement/hysteresis timing, dedup-pointer reuse, next-target
+// speculation. Semantic and AuditFailure are fatal: the design produced
+// state or a prediction that cannot be derived from anything it observed.
+type Class uint8
+
+const (
+	// Capacity: the design missed where the unbounded oracle hit. The
+	// defining legal divergence of any finite structure (eviction, or a
+	// failed allocation).
+	Capacity Class = iota
+	// AliasHit: the design hit where the oracle missed, with a derivable
+	// target. 12-bit tags alias, dedup pointers dangle onto reused values,
+	// Shotgun prefetches, and the MultiTarget NT register serves PCs the
+	// BTBM never stored — all legal.
+	AliasHit
+	// StaleTarget: both hit but disagree, and the design's target is one
+	// this PC was trained with earlier. Confidence hysteresis and
+	// eviction/retrain timing legally lag the oracle.
+	StaleTarget
+	// DeltaCompose: both hit but disagree, and the design's target is the
+	// PC's own page composed with an offset observed on some taken branch —
+	// a delta entry trained through tag aliasing, or the NT register.
+	DeltaCompose
+	// ForeignTarget: both hit but disagree, and the design's target was
+	// observed on some other branch, or is a component-wise recomposition of
+	// observed region/page/offset values. Tag aliasing and the §4.4.2
+	// dangling-pointer value reuse produce exactly these.
+	ForeignTarget
+	// Semantic: fatal. The design predicted a target that is not derivable
+	// from any observation — a fabricated address, an out-of-range bit
+	// pattern, or corrupted bookkeeping surfacing as a wrong prediction.
+	Semantic
+	// AuditFailure: fatal. The design's Audit deep-check found a broken
+	// internal invariant, whether or not predictions have diverged yet.
+	AuditFailure
+
+	classCount = int(AuditFailure) + 1
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Capacity:
+		return "capacity"
+	case AliasHit:
+		return "alias-hit"
+	case StaleTarget:
+		return "stale-target"
+	case DeltaCompose:
+		return "delta-compose"
+	case ForeignTarget:
+		return "foreign-target"
+	case Semantic:
+		return "SEMANTIC"
+	case AuditFailure:
+		return "AUDIT-FAILURE"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Fatal reports whether the class indicates a bug rather than a legal
+// capacity/aliasing effect.
+func (c Class) Fatal() bool { return c == Semantic || c == AuditFailure }
+
+// Divergence is one recorded disagreement, with enough context to reproduce
+// and triage it without rerunning: the dynamic step, the branch, both
+// predictions, and a digest of the design state at the failing step.
+type Divergence struct {
+	Step   uint64
+	PC     addr.VA
+	Class  Class
+	Got    btb.Lookup // the design's prediction
+	Want   btb.Lookup // the oracle's prediction
+	Digest uint64     // design state digest (0 if the design has none)
+	Audit  error      // set for AuditFailure
+}
+
+// String implements fmt.Stringer.
+func (d Divergence) String() string {
+	if d.Class == AuditFailure {
+		return fmt.Sprintf("step %d pc %v [%v]: %v (digest %#x)", d.Step, d.PC, d.Class, d.Audit, d.Digest)
+	}
+	return fmt.Sprintf("step %d pc %v [%v]: design hit=%t target=%v, oracle hit=%t target=%v (digest %#x)",
+		d.Step, d.PC, d.Class, d.Got.Hit, d.Got.Target, d.Want.Hit, d.Want.Target, d.Digest)
+}
+
+// Options tunes a differential run. The zero value is usable.
+type Options struct {
+	// AuditEvery invokes the design's (and oracle's) Audit after every N
+	// compared branches. 0 defaults to 4096; negative disables audits.
+	AuditEvery int
+	// MaxSamples bounds recorded Divergence values per class (counters keep
+	// counting past the cap). 0 defaults to 4.
+	MaxSamples int
+	// MaxSteps stops the run after N branch records. 0 means the whole trace.
+	MaxSteps uint64
+}
+
+func (o Options) auditEvery() int {
+	if o.AuditEvery == 0 {
+		return 4096
+	}
+	if o.AuditEvery < 0 {
+		return 0
+	}
+	return o.AuditEvery
+}
+
+func (o Options) maxSamples() int {
+	if o.MaxSamples <= 0 {
+		return 4
+	}
+	return o.MaxSamples
+}
+
+// Report aggregates one differential run.
+type Report struct {
+	Design string
+	Oracle string
+	// Steps is the number of branch records driven through both predictors;
+	// Compared counts the records where at least one of them hit.
+	Steps    uint64
+	Compared uint64
+	Agreed   uint64
+	Counts   [classCount]uint64
+	Samples  []Divergence
+}
+
+// Count returns the number of divergences of one class.
+func (r *Report) Count(c Class) uint64 { return r.Counts[c] }
+
+// FatalCount returns the number of fatal (Semantic + AuditFailure) records.
+func (r *Report) FatalCount() uint64 { return r.Counts[Semantic] + r.Counts[AuditFailure] }
+
+// Err returns nil when every divergence was legal, and otherwise an error
+// describing the fatal divergences (including the first recorded samples).
+func (r *Report) Err() error {
+	if r.FatalCount() == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "oracle: %s vs %s: %d semantic divergence(s), %d audit failure(s)",
+		r.Design, r.Oracle, r.Counts[Semantic], r.Counts[AuditFailure])
+	for _, d := range r.Samples {
+		if d.Class.Fatal() {
+			fmt.Fprintf(&sb, "\n  %v", d)
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// Summary renders a one-line human-readable digest of the run.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%s vs %s: %d steps, %d compared, %d agreed; capacity=%d alias=%d stale=%d delta=%d foreign=%d semantic=%d audit=%d",
+		r.Design, r.Oracle, r.Steps, r.Compared, r.Agreed,
+		r.Counts[Capacity], r.Counts[AliasHit], r.Counts[StaleTarget],
+		r.Counts[DeltaCompose], r.Counts[ForeignTarget],
+		r.Counts[Semantic], r.Counts[AuditFailure])
+}
+
+func (r *Report) record(d Divergence, maxSamples int) {
+	r.Counts[d.Class]++
+	perClass := 0
+	for _, s := range r.Samples {
+		if s.Class == d.Class {
+			perClass++
+		}
+	}
+	if perClass < maxSamples {
+		r.Samples = append(r.Samples, d)
+	}
+}
+
+// knowledge is the runner's record of everything the design has legitimately
+// observed, used to separate derivable predictions from fabricated ones.
+// Only *past* observations count: it is consulted before each Update.
+type knowledge struct {
+	perPC   map[addr.VA]map[addr.VA]struct{} // taken targets per branch PC
+	targets map[addr.VA]struct{}             // all taken targets
+	offsets map[uint64]struct{}              // offsets of all taken targets
+	pages   map[uint64]struct{}              // page components of all taken targets
+	regions map[uint64]struct{}              // region components of all taken targets
+}
+
+func newKnowledge() *knowledge {
+	return &knowledge{
+		perPC:   make(map[addr.VA]map[addr.VA]struct{}),
+		targets: make(map[addr.VA]struct{}),
+		offsets: make(map[uint64]struct{}),
+		pages:   make(map[uint64]struct{}),
+		regions: make(map[uint64]struct{}),
+	}
+}
+
+func (k *knowledge) observe(b isa.Branch) {
+	// Everything in the Update record is visible to a design — including the
+	// announced would-be target of a not-taken conditional, which Shotgun's
+	// CBTB deliberately stores — so any of it may legally resurface in a
+	// later prediction. The oracles' taken-only allocation is a separate
+	// concern: derivability is about what the design *could* know.
+	set, ok := k.perPC[b.PC]
+	if !ok {
+		set = make(map[addr.VA]struct{})
+		k.perPC[b.PC] = set
+	}
+	set[b.Target] = struct{}{}
+	k.targets[b.Target] = struct{}{}
+	k.offsets[b.Target.Offset()] = struct{}{}
+	k.pages[b.Target.Page()] = struct{}{}
+	k.regions[b.Target.Region()] = struct{}{}
+}
+
+// classify labels the design's hit target t for branch PC pc, for the case
+// where the two predictors disagree. bothHit selects between the both-hit
+// taxonomy and the design-hit/oracle-miss one.
+func (k *knowledge) classify(pc, t addr.VA, bothHit bool) Class {
+	if uint64(t)&^addr.Mask != 0 {
+		return Semantic // malformed: bits above the 57-bit VA space
+	}
+	if _, ok := k.perPC[pc][t]; ok {
+		if bothHit {
+			return StaleTarget
+		}
+		return AliasHit
+	}
+	if pc.SamePage(t) {
+		if _, ok := k.offsets[t.Offset()]; ok {
+			if bothHit {
+				return DeltaCompose
+			}
+			return AliasHit
+		}
+	}
+	if _, ok := k.targets[t]; ok {
+		if bothHit {
+			return ForeignTarget
+		}
+		return AliasHit
+	}
+	// Component-wise recomposition: PDede's dangling Page/Region pointers
+	// can legally pair the region of one observed target with the page of
+	// another (§4.4.2). Anything beyond that is fabricated.
+	_, okR := k.regions[t.Region()]
+	_, okP := k.pages[t.Page()]
+	_, okO := k.offsets[t.Offset()]
+	if okR && okP && okO {
+		if bothHit {
+			return ForeignTarget
+		}
+		return AliasHit
+	}
+	return Semantic
+}
+
+// Diff drives design and oracle in lockstep over src, comparing predictions
+// and periodically deep-checking invariants. Both predictors are Reset
+// first. The returned Report is complete even when fatal divergences were
+// found; ctx cancellation returns the partial report and the context error.
+func Diff(ctx context.Context, design, oracle btb.TargetPredictor, src trace.Source, opts Options) (*Report, error) {
+	design.Reset()
+	oracle.Reset()
+	rep := &Report{Design: design.Name(), Oracle: oracle.Name()}
+	know := newKnowledge()
+	auditEvery := opts.auditEvery()
+	maxSamples := opts.maxSamples()
+	designAud, _ := design.(btb.Auditable)
+	oracleAud, _ := oracle.(btb.Auditable)
+
+	r := src.Open()
+	for {
+		if opts.MaxSteps != 0 && rep.Steps >= opts.MaxSteps {
+			break
+		}
+		if rep.Steps&1023 == 0 && ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rep, fmt.Errorf("oracle: trace %s: %w", src.Name(), err)
+		}
+		rep.Steps++
+
+		got := design.Lookup(b.PC)
+		want := oracle.Lookup(b.PC)
+		if got.Hit || want.Hit {
+			rep.Compared++
+			switch {
+			case got.Hit && want.Hit && got.Target == want.Target:
+				rep.Agreed++
+			case !got.Hit:
+				rep.record(Divergence{
+					Step: rep.Steps, PC: b.PC, Class: Capacity, Got: got, Want: want,
+				}, maxSamples)
+			default:
+				d := Divergence{
+					Step: rep.Steps, PC: b.PC,
+					Class: know.classify(b.PC, got.Target, want.Hit),
+					Got:   got, Want: want,
+				}
+				if d.Class.Fatal() {
+					d.Digest = btb.StateDigestOf(design)
+				}
+				rep.record(d, maxSamples)
+			}
+		}
+
+		know.observe(b)
+		design.Update(b, got)
+		oracle.Update(b, want)
+
+		if auditEvery != 0 && rep.Steps%uint64(auditEvery) == 0 {
+			if err := auditBoth(designAud, oracleAud); err != nil {
+				rep.record(Divergence{
+					Step: rep.Steps, PC: b.PC, Class: AuditFailure,
+					Audit: err, Digest: btb.StateDigestOf(design),
+				}, maxSamples)
+				// Bookkeeping is corrupt; further steps only echo the damage.
+				return rep, nil
+			}
+		}
+	}
+	if err := auditBoth(designAud, oracleAud); err != nil {
+		rep.record(Divergence{
+			Step: rep.Steps, Class: AuditFailure,
+			Audit: err, Digest: btb.StateDigestOf(design),
+		}, maxSamples)
+	}
+	return rep, nil
+}
+
+func auditBoth(design, oracle btb.Auditable) error {
+	if design != nil {
+		if err := design.Audit(); err != nil {
+			return err
+		}
+	}
+	if oracle != nil {
+		if err := oracle.Audit(); err != nil {
+			return fmt.Errorf("oracle self-audit: %w", err)
+		}
+	}
+	return nil
+}
+
+// DiffDesign is the common entry point: pick the matching oracle via
+// ForDesign and run Diff.
+func DiffDesign(ctx context.Context, design btb.TargetPredictor, src trace.Source, opts Options) (*Report, error) {
+	return Diff(ctx, design, ForDesign(design), src, opts)
+}

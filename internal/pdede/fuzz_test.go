@@ -1,0 +1,58 @@
+package pdede
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+)
+
+// FuzzDelta pins the delta encode/decode path for arbitrary addresses: a
+// fresh PDede trained with one taken branch must serve back the exact
+// architectural target — same-page targets through the 12-bit delta field,
+// cross-page ones through the Page/Region pointer reconstruction — and pass
+// a full audit afterwards. On an empty table there is no aliasing, no
+// eviction and no dangling pointer, so any target mismatch is an
+// encode/decode bug, not a capacity effect.
+func FuzzDelta(f *testing.F) {
+	f.Add(uint64(0x1ffc7bb4003c9e4), uint64(0x9e8), true, uint8(0))
+	f.Add(uint64(0x1ffc7bb4003c9e4), uint64(0x123456789), false, uint8(1))
+	f.Add(uint64(0), uint64(0), true, uint8(2))
+	f.Add(^uint64(0), ^uint64(0), false, uint8(0))
+	f.Fuzz(func(t *testing.T, pcRaw, tgtRaw uint64, samePage bool, variant uint8) {
+		var cfg Config
+		switch variant % 3 {
+		case 0:
+			cfg = DefaultConfig()
+		case 1:
+			cfg = MultiTargetConfig()
+		default:
+			cfg = MultiEntryConfig()
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := addr.New(pcRaw)
+		var tgt addr.VA
+		if samePage {
+			tgt = pc.WithOffset(tgtRaw)
+		} else {
+			tgt = addr.New(tgtRaw)
+		}
+		p.Update(taken(pc, tgt), btb.Lookup{})
+		l := p.Lookup(pc)
+		if !l.Hit {
+			t.Fatalf("fresh table missed its only trained branch pc=%v", pc)
+		}
+		if l.Target != tgt {
+			t.Fatalf("pc=%v target=%v decoded as %v", pc, tgt, l.Target)
+		}
+		if pc.SamePage(tgt) && l.ExtraLatency != 0 {
+			t.Fatalf("same-page target %v took the multi-cycle pointer path", tgt)
+		}
+		if err := p.Audit(); err != nil {
+			t.Fatalf("audit after one update: %v", err)
+		}
+	})
+}

@@ -166,6 +166,37 @@ func (s *Shotgun) recordMeta(b isa.Branch) {
 	s.meta[blk] = append(lst, condInfo{pc: b.PC, target: b.Target})
 }
 
+// Audit implements btb.Auditable: both component BTBs must pass their own
+// deep checks, and the block-grained metadata must keep its construction
+// invariants — at most MaxPerBlock conditionals per block, each recorded
+// under the block its PC actually belongs to, with no PC listed twice.
+func (s *Shotgun) Audit() error {
+	if err := s.ubtb.Audit(); err != nil {
+		return fmt.Errorf("shotgun: ubtb: %w", err)
+	}
+	if err := s.cbtb.Audit(); err != nil {
+		return fmt.Errorf("shotgun: cbtb: %w", err)
+	}
+	for blk, lst := range s.meta {
+		if len(lst) > s.cfg.MaxPerBlock {
+			return fmt.Errorf("shotgun: block %#x holds %d conditionals, cap is %d",
+				blk, len(lst), s.cfg.MaxPerBlock)
+		}
+		for i, ci := range lst {
+			if uint64(ci.pc)>>blockShift != blk {
+				return fmt.Errorf("shotgun: block %#x records PC %v from block %#x",
+					blk, ci.pc, uint64(ci.pc)>>blockShift)
+			}
+			for _, cj := range lst[i+1:] {
+				if cj.pc == ci.pc {
+					return fmt.Errorf("shotgun: block %#x records PC %v twice", blk, ci.pc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // StorageBits implements btb.TargetPredictor: uBTB entries carry a 16-bit
 // footprint field in addition to the baseline layout. The block metadata is
 // virtualized into the memory hierarchy (not dedicated storage), as in the

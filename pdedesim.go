@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/multilevel"
+	"repro/internal/oracle"
 	"repro/internal/pdede"
 	"repro/internal/shotgun"
 	"repro/internal/trace"
@@ -198,6 +199,10 @@ type SimOptions struct {
 	// (core.RunPipeline) instead of the analytic runahead model. The two
 	// share prediction state and cross-validate each other.
 	UsePipelineModel bool
+	// AuditEvery, when non-zero, deep-checks the design's internal
+	// invariants every N records during simulation and fails the run on the
+	// first violation. Zero disables auditing (no measurable overhead).
+	AuditEvery uint64
 }
 
 // DefaultSimOptions mirrors the experiment harness defaults.
@@ -244,11 +249,41 @@ func SimulateTraceContext(ctx context.Context, app App, tr *Trace, design func()
 		BTB:              tp,
 		WarmupInstrs:     opts.WarmupInstrs,
 		PerfectDirection: opts.PerfectDirection,
+		AuditEvery:       opts.AuditEvery,
 	}
 	if opts.UsePipelineModel {
 		return core.RunPipelineContext(ctx, cfg, tr)
 	}
 	return core.RunContext(ctx, cfg, tr)
+}
+
+// --- Self-checking ---------------------------------------------------------
+
+// DiffReport aggregates one differential run of a design against its
+// unbounded reference oracle: per-class divergence counts (capacity and
+// aliasing effects are legal; semantic divergences and audit failures are
+// bugs), recorded samples, and an Err() accessor that is non-nil exactly
+// when a fatal divergence was found.
+type DiffReport = oracle.Report
+
+// DiffOptions tune a differential run (audit cadence, sample caps, step
+// bound). The zero value is usable.
+type DiffOptions = oracle.Options
+
+// CheckDesign drives the design and an automatically-selected reference
+// oracle in lockstep over the app's trace, comparing every prediction and
+// deep-auditing internal invariants periodically. The report is returned
+// even when divergences were found; inspect report.Err() for fatality.
+func CheckDesign(ctx context.Context, app App, design func() (TargetPredictor, error), totalInstrs uint64, opts DiffOptions) (*DiffReport, error) {
+	tr, err := BuildTrace(app, totalInstrs)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := design()
+	if err != nil {
+		return nil, err
+	}
+	return oracle.DiffDesign(ctx, tp, tr, opts)
 }
 
 // --- Experiments ----------------------------------------------------------
