@@ -9,7 +9,22 @@ GO ?= go
 # + internal/pdede) enforced by `make cover`.
 COVER_MIN ?= 80.0
 
-.PHONY: build test vet race fuzz cover check check-deep
+# Coverage profile destination: a temp path by default so `make cover` never
+# litters (or accidentally commits) a profile into the work tree.
+COVERPROFILE ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-coverage.out
+
+# Per-target fuzz duration. The default keeps `make fuzz` quick for local
+# runs; the nightly workflow runs it at FUZZTIME=30s.
+FUZZTIME ?= 15s
+
+# Benchmark-and-regression harness (cmd/pdede-bench): BENCH_BASELINE is the
+# committed reference report, BENCH_TOLERANCE the allowed per-design
+# records/sec loss, BENCH_OUT where the fresh report lands.
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_TOLERANCE ?= 8%
+BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
+
+.PHONY: build test vet lint race fuzz cover bench check check-deep
 
 build:
 	$(GO) build ./...
@@ -19,6 +34,19 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: gofmt drift and staticcheck. staticcheck is
+# optional locally (skipped with a notice when not installed); the CI lint
+# job installs it and gets the full check.
+lint: vet
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@echo "lint: ok"
 
 # The experiment harness fans apps out across goroutines, the fault layer is
 # exercised from them, the core models run under -parallel app sweeps, and
@@ -31,20 +59,28 @@ race:
 # test inside `make test`): the trace decoder, the 57-bit VA component
 # algebra, and PDede's delta encode/decode path.
 fuzz:
-	$(GO) test ./internal/trace/ -fuzz FuzzDecoder -fuzztime 20s
-	$(GO) test ./internal/addr/ -fuzz FuzzComponentRoundTrip -fuzztime 10s
-	$(GO) test ./internal/addr/ -fuzz FuzzBuildDecompose -fuzztime 10s
-	$(GO) test ./internal/pdede/ -fuzz FuzzDelta -fuzztime 20s
+	$(GO) test ./internal/trace/ -fuzz FuzzDecoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/addr/ -fuzz FuzzComponentRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/addr/ -fuzz FuzzBuildDecompose -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pdede/ -fuzz FuzzDelta -fuzztime $(FUZZTIME)
 
 # Statement coverage of the BTB design packages, gated at COVER_MIN: the
 # audit/oracle work exists to keep these structures honest, so their own
 # test coverage must not rot.
 cover:
-	$(GO) test -coverprofile=coverage.out ./internal/btb/ ./internal/pdede/
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	$(GO) test -coverprofile=$(COVERPROFILE) ./internal/btb/ ./internal/pdede/
+	@total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "cover: internal/btb + internal/pdede total $$total% (min $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
 		|| { echo "cover: FAIL — below $(COVER_MIN)%"; exit 1; }
+
+# Throughput benchmark: run the fixed (designs × apps × models) matrix and
+# compare against the committed baseline, failing on regressions beyond
+# BENCH_TOLERANCE. To refresh the baseline after an intentional perf change:
+#   make bench BENCH_OUT=BENCH_PR3.json BENCH_TOLERANCE=99%
+# then review and commit the new BENCH_PR3.json.
+bench: build
+	$(GO) run ./cmd/pdede-bench -q -o $(BENCH_OUT) -baseline $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
 check: vet test race cover
 	@echo "check: ok"

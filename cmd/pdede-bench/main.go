@@ -1,0 +1,109 @@
+// Command pdede-bench measures simulator throughput over a fixed, seeded
+// workload matrix (every comparison BTB design × 4 catalog apps × both core
+// models) and emits a schema-versioned JSON report. With -baseline it also
+// compares the fresh measurements against a committed report and exits
+// non-zero when any design's records/sec regressed beyond the tolerance —
+// the CI gate that keeps the per-record simulation loop fast.
+//
+// Usage:
+//
+//	pdede-bench -o BENCH_PR3.json                 # measure, write report
+//	pdede-bench -baseline BENCH_PR3.json          # measure, compare, gate
+//	pdede-bench -baseline old.json -tolerance 8%  # custom tolerance
+//	pdede-bench -baseline old.json -compare new.json  # compare two files
+//	                                              # without running anything
+//
+// Exit codes: 0 pass, 1 regression, 2 usage or measurement error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write the JSON report to this path (default: stdout when not comparing)")
+		baseline  = flag.String("baseline", "", "baseline report to compare against; regressions exit 1")
+		compare   = flag.String("compare", "", "compare this existing report against -baseline instead of measuring")
+		tolerance = flag.String("tolerance", "8%", "allowed per-design records/sec loss (e.g. 8%, 0.08)")
+		apps      = flag.Int("apps", 4, "catalog applications in the matrix (sampled evenly)")
+		instrs    = flag.Uint64("instrs", 1_000_000, "trace length per app")
+		warmup    = flag.Uint64("warmup", 400_000, "warmup instructions (unmeasured but simulated)")
+		reps      = flag.Int("reps", 3, "repetitions per matrix cell (fastest wins)")
+		quiet     = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "pdede-bench: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *compare != "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "pdede-bench: -compare requires -baseline")
+		os.Exit(2)
+	}
+
+	tol, err := perf.ParseTolerance(*tolerance)
+	if err != nil {
+		fatal(err)
+	}
+
+	var report *perf.Report
+	if *compare != "" {
+		report, err = perf.LoadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec := perf.DefaultSpec()
+		spec.Apps = *apps
+		spec.TotalInstrs = *instrs
+		spec.WarmupInstrs = *warmup
+		spec.Reps = *reps
+		var progress perf.Progress
+		if !*quiet {
+			progress = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+		}
+		report, err = perf.Run(spec, progress)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *out != "":
+		if err := perf.SaveReport(*out, report); err != nil {
+			fatal(err)
+		}
+	case *compare == "" && *baseline == "":
+		if err := perf.WriteJSON(os.Stdout, report); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := perf.LoadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := perf.Compare(base, report, tol)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(cmp.Table())
+	if err := cmp.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\npdede-bench: no design regressed beyond %.0f%% tolerance\n", 100*tol)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdede-bench:", err)
+	os.Exit(2)
+}

@@ -107,7 +107,15 @@ func (b *Baseline) Audit() error {
 		for w := 0; w < b.ways; w++ {
 			e := &b.entries[base+w]
 			if !e.valid {
+				if b.scanTags[base+w] != scanInvalid {
+					return fmt.Errorf("btb: baseline set %d way %d scan mirror holds tag %#x for a free way",
+						s, w, b.scanTags[base+w])
+				}
 				continue
+			}
+			if b.scanTags[base+w] != e.tag {
+				return fmt.Errorf("btb: baseline set %d way %d scan mirror %#x disagrees with tag %#x",
+					s, w, b.scanTags[base+w], e.tag)
 			}
 			if uint64(e.target)&^addr.Mask != 0 {
 				return fmt.Errorf("btb: baseline set %d way %d target %#x exceeds %d bits",
@@ -165,7 +173,15 @@ func (d *DedupBTB) Audit() error {
 		for w := 0; w < d.ways; w++ {
 			e := &d.entries[base+w]
 			if !e.valid {
+				if d.scanTags[base+w] != scanInvalid {
+					return fmt.Errorf("btb: dedup monitor set %d way %d scan mirror holds tag %#x for a free way",
+						s, w, d.scanTags[base+w])
+				}
 				continue
+			}
+			if d.scanTags[base+w] != e.tag {
+				return fmt.Errorf("btb: dedup monitor set %d way %d scan mirror %#x disagrees with tag %#x",
+					s, w, d.scanTags[base+w], e.tag)
 			}
 			if !d.targets.ValidSlot(int(e.ptr)) {
 				return fmt.Errorf("btb: dedup monitor set %d way %d pointer %d does not dereference",

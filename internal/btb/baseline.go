@@ -19,7 +19,10 @@ type Baseline struct {
 
 	indexBits uint
 	entries   []baseEntry // sets × ways
-	repl      []replacer
+	// scanTags packs each way's tag (scanInvalid when free) into a dense
+	// array the hot Lookup/probe scans walk instead of the entry structs.
+	scanTags []uint64
+	repl     []replacer
 
 	// GHRP state (only when Policy == PolicyGHRP): per-set predictive
 	// replacement plus the shared signature tables, and a per-entry
@@ -30,6 +33,17 @@ type Baseline struct {
 
 	// storeReturns mirrors §5.7: if set, returns also allocate (no RAS).
 	storeReturns bool
+
+	// Probe memo: Lookup leaves its decomposed (set, tag) and matched way
+	// for the immediately following Update of the same PC (the BPU's
+	// probe→train sequence), which then skips the re-hash and re-scan.
+	// One-shot: every Update consumes or invalidates it, because updates
+	// mutate set contents.
+	memoPC  addr.VA
+	memoSet uint64
+	memoTag uint64
+	memoWay int32 // matched way, -1 on miss
+	memoOK  bool
 }
 
 type baseEntry struct {
@@ -71,6 +85,7 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 		ways:         cfg.Ways,
 		indexBits:    uint(bits.TrailingZeros(uint(sets))),
 		entries:      make([]baseEntry, cfg.Entries),
+		scanTags:     newScanTags(cfg.Entries),
 		repl:         make([]replacer, sets),
 		storeReturns: cfg.StoreReturns,
 	}
@@ -101,14 +116,36 @@ func (b *Baseline) Name() string { return b.name }
 // Lookup implements TargetPredictor.
 func (b *Baseline) Lookup(pc addr.VA) Lookup {
 	set, tag := addr.IndexTag(pc, b.indexBits, TagBits)
+	b.memoPC, b.memoSet, b.memoTag, b.memoWay, b.memoOK = pc, set, tag, -1, true
 	base := int(set) * b.ways
-	for w := 0; w < b.ways; w++ {
-		e := &b.entries[base+w]
-		if e.valid && e.tag == tag {
-			return Lookup{Hit: true, Target: e.target}
+	for w, st := range b.scanTags[base : base+b.ways] {
+		if st == tag {
+			b.memoWay = int32(w)
+			return Lookup{Hit: true, Target: b.entries[base+w].target}
 		}
 	}
 	return Lookup{}
+}
+
+// probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
+// Update immediately follows Lookup for the same PC and re-deriving
+// otherwise. The memo is consumed either way: the caller mutates the set.
+func (b *Baseline) probe(pc addr.VA) (set, tag uint64, way int) {
+	if b.memoOK && b.memoPC == pc {
+		b.memoOK = false
+		return b.memoSet, b.memoTag, int(b.memoWay)
+	}
+	b.memoOK = false
+	set, tag = addr.IndexTag(pc, b.indexBits, TagBits)
+	way = -1
+	base := int(set) * b.ways
+	for w, st := range b.scanTags[base : base+b.ways] {
+		if st == tag {
+			way = w
+			break
+		}
+	}
+	return set, tag, way
 }
 
 // Update implements TargetPredictor. Taken branches allocate or retrain
@@ -121,13 +158,11 @@ func (b *Baseline) Update(br isa.Branch, prior Lookup) {
 	if br.Kind.IsReturn() && !b.storeReturns {
 		return
 	}
-	set, tag := addr.IndexTag(br.PC, b.indexBits, TagBits)
+	set, tag, hit := b.probe(br.PC)
 	base := int(set) * b.ways
-	for w := 0; w < b.ways; w++ {
+	if hit >= 0 {
+		w := hit
 		e := &b.entries[base+w]
-		if !e.valid || e.tag != tag {
-			continue
-		}
 		if b.ghrp != nil {
 			b.ghrp[set].touchPC(w, br.PC)
 			b.reused[base+w] = true
@@ -151,6 +186,7 @@ func (b *Baseline) Update(br isa.Branch, prior Lookup) {
 	// Allocate.
 	w := b.victim(set)
 	b.entries[base+w] = baseEntry{valid: true, tag: tag, target: br.Target}
+	b.scanTags[base+w] = tag
 	if b.ghrp != nil {
 		b.ghrp[set].insertPC(w, br.PC, b.reused[base+w])
 		b.reused[base+w] = false
@@ -195,8 +231,10 @@ func (b *Baseline) Entries() int { return b.sets * b.ways }
 
 // Reset implements TargetPredictor.
 func (b *Baseline) Reset() {
+	b.memoOK = false
 	for i := range b.entries {
 		b.entries[i] = baseEntry{}
+		b.scanTags[i] = scanInvalid
 	}
 	for _, r := range b.repl {
 		if r != nil { // nil when GHRP manages replacement

@@ -79,10 +79,7 @@ func NewDedupTable(entries, ways int) (*DedupTable, error) {
 		setMask: uint64(sets - 1),
 		valid:   make([]bool, entries),
 		vals:    make([]uint64, entries),
-		repl:    make([]*SRRIP, sets),
-	}
-	for i := range t.repl {
-		t.repl[i] = NewSRRIP(ways, 2)
+		repl:    NewSRRIPSlab(sets, ways, 2),
 	}
 	return t, nil
 }
@@ -175,9 +172,7 @@ func (t *DedupTable) Reset() {
 		t.vals[i] = 0
 	}
 	for _, r := range t.repl {
-		for w := range r.rrpv {
-			r.rrpv[w] = r.max
-		}
+		r.Reset()
 	}
 	t.Evictions = 0
 	if t.refs != nil {

@@ -24,8 +24,19 @@ type DedupBTB struct {
 	indexBits uint
 
 	entries []dedupEntry
-	repl    []*SRRIP
-	targets *DedupTable
+	// scanTags packs each way's tag (scanInvalid when free) into a dense
+	// array the hot Lookup/probe scans walk instead of the entry structs.
+	scanTags []uint64
+	repl     []*SRRIP
+	targets  *DedupTable
+
+	// Probe memo, as in Baseline: Lookup's (set, tag, way) reused by the
+	// immediately following Update of the same PC. One-shot.
+	memoPC  addr.VA
+	memoSet uint64
+	memoTag uint64
+	memoWay int32
+	memoOK  bool
 }
 
 type dedupEntry struct {
@@ -92,11 +103,9 @@ func NewDedupBTB(cfg DedupBTBConfig) (*DedupBTB, error) {
 		ways:      cfg.MonitorWays,
 		indexBits: uint(bits.TrailingZeros(uint(sets))),
 		entries:   make([]dedupEntry, cfg.MonitorEntries),
-		repl:      make([]*SRRIP, sets),
+		scanTags:  newScanTags(cfg.MonitorEntries),
+		repl:      NewSRRIPSlab(sets, cfg.MonitorWays, 2),
 		targets:   tt,
-	}
-	for i := range d.repl {
-		d.repl[i] = NewSRRIP(cfg.MonitorWays, 2)
 	}
 	return d, nil
 }
@@ -107,13 +116,14 @@ func (d *DedupBTB) Name() string { return d.name }
 // Lookup implements TargetPredictor.
 func (d *DedupBTB) Lookup(pc addr.VA) Lookup {
 	set, tag := addr.IndexTag(pc, d.indexBits, TagBits)
+	d.memoPC, d.memoSet, d.memoTag, d.memoWay, d.memoOK = pc, set, tag, -1, true
 	base := int(set) * d.ways
-	for w := 0; w < d.ways; w++ {
-		e := &d.entries[base+w]
-		if !e.valid || e.tag != tag {
+	for w, st := range d.scanTags[base : base+d.ways] {
+		if st != tag {
 			continue
 		}
-		v, ok := d.targets.Get(int(e.ptr))
+		d.memoWay = int32(w)
+		v, ok := d.targets.Get(int(d.entries[base+w].ptr))
 		if !ok {
 			return Lookup{}
 		}
@@ -122,19 +132,37 @@ func (d *DedupBTB) Lookup(pc addr.VA) Lookup {
 	return Lookup{}
 }
 
+// probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
+// Update immediately follows Lookup for the same PC (see Baseline.probe).
+func (d *DedupBTB) probe(pc addr.VA) (set, tag uint64, way int) {
+	if d.memoOK && d.memoPC == pc {
+		d.memoOK = false
+		return d.memoSet, d.memoTag, int(d.memoWay)
+	}
+	d.memoOK = false
+	set, tag = addr.IndexTag(pc, d.indexBits, TagBits)
+	way = -1
+	base := int(set) * d.ways
+	for w, st := range d.scanTags[base : base+d.ways] {
+		if st == tag {
+			way = w
+			break
+		}
+	}
+	return set, tag, way
+}
+
 // Update implements TargetPredictor.
 func (d *DedupBTB) Update(br isa.Branch, prior Lookup) {
 	if !br.Taken || br.Kind.IsReturn() {
 		return
 	}
-	set, tag := addr.IndexTag(br.PC, d.indexBits, TagBits)
+	set, tag, hit := d.probe(br.PC)
 	base := int(set) * d.ways
 	repl := d.repl[set]
-	for w := 0; w < d.ways; w++ {
+	if hit >= 0 {
+		w := hit
 		e := &d.entries[base+w]
-		if !e.valid || e.tag != tag {
-			continue
-		}
 		repl.Touch(w)
 		if v, ok := d.targets.Get(int(e.ptr)); ok && addr.VA(v) == br.Target {
 			e.conf = e.conf.inc()
@@ -178,6 +206,7 @@ func (d *DedupBTB) Update(br isa.Branch, prior Lookup) {
 		d.targets.Release(int(d.entries[base+w].ptr))
 	}
 	d.entries[base+w] = dedupEntry{valid: true, tag: tag, ptr: int32(ptr)}
+	d.scanTags[base+w] = tag
 	d.targets.Acquire(ptr)
 	repl.Insert(w)
 }
@@ -194,13 +223,13 @@ func (d *DedupBTB) StorageBits() uint64 {
 
 // Reset implements TargetPredictor.
 func (d *DedupBTB) Reset() {
+	d.memoOK = false
 	for i := range d.entries {
 		d.entries[i] = dedupEntry{}
+		d.scanTags[i] = scanInvalid
 	}
 	for _, r := range d.repl {
-		for w := range r.rrpv {
-			r.rrpv[w] = r.max
-		}
+		r.Reset()
 	}
 	d.targets.Reset()
 }

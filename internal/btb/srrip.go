@@ -56,6 +56,46 @@ func (s *SRRIP) Victim(candidates []int) int {
 	}
 }
 
+// Reset returns every way to max RRPV ("empty", immediate victim) in place,
+// so slab-backed state (NewSRRIPSlab) stays slab-backed.
+func (s *SRRIP) Reset() {
+	for i := range s.rrpv {
+		s.rrpv[i] = s.max
+	}
+}
+
+// NewSRRIPSlab builds per-set SRRIP state for n sets out of one shared RRPV
+// slab and one shared candidate list (read-only in Victim), collapsing the
+// 3n allocations of n NewSRRIP calls into 3. The states are otherwise
+// independent.
+func NewSRRIPSlab(n, ways int, bits uint) []*SRRIP {
+	if n <= 0 {
+		panic("btb: SRRIP slab needs at least one set")
+	}
+	if ways <= 0 {
+		panic("btb: SRRIP needs at least one way")
+	}
+	if bits == 0 || bits > 8 {
+		panic("btb: SRRIP RRPV bits out of range")
+	}
+	max := uint8(1<<bits) - 1
+	slab := make([]uint8, n*ways)
+	for i := range slab {
+		slab[i] = max
+	}
+	all := make([]int, ways)
+	for i := range all {
+		all[i] = i
+	}
+	objs := make([]SRRIP, n)
+	out := make([]*SRRIP, n)
+	for i := range objs {
+		objs[i] = SRRIP{rrpv: slab[i*ways : (i+1)*ways : (i+1)*ways], max: max, all: all}
+		out[i] = &objs[i]
+	}
+	return out
+}
+
 // Bits returns the replacement metadata bits per way.
 func (s *SRRIP) Bits() uint64 {
 	b := uint64(0)

@@ -15,12 +15,17 @@ type Cache struct {
 	sets      int
 	ways      int
 	lineShift uint
+	setShift  uint // log2(sets), hoisted out of the per-access tag split
 	indexMask uint64
 
 	tags  []uint64
 	valid []bool
 	stamp []uint64
 	clock uint64
+	// last caches each set's most recent hit (or fill) way: instruction
+	// fetch revisits the same lines heavily, so most accesses resolve
+	// without scanning the set.
+	last []int32
 }
 
 // New builds a cache of totalBytes capacity with the given associativity
@@ -44,17 +49,19 @@ func New(totalBytes, ways, lineBytes int) (*Cache, error) {
 		sets:      sets,
 		ways:      ways,
 		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
+		setShift:  uint(bits.TrailingZeros(uint(sets))),
 		indexMask: uint64(sets - 1),
 		tags:      make([]uint64, lines),
 		valid:     make([]bool, lines),
 		stamp:     make([]uint64, lines),
+		last:      make([]int32, sets),
 	}, nil
 }
 
 // line splits an address into set and tag.
 func (c *Cache) line(a addr.VA) (int, uint64) {
 	l := uint64(a) >> c.lineShift
-	return int(l & c.indexMask), l >> bits.TrailingZeros(uint(c.sets))
+	return int(l & c.indexMask), l >> c.setShift
 }
 
 // Access touches the line holding a, allocating it on a miss. It returns
@@ -63,9 +70,16 @@ func (c *Cache) Access(a addr.VA) bool {
 	set, tag := c.line(a)
 	base := set * c.ways
 	c.clock++
+	// Fast path: the set's most recent hit way (the common case for
+	// instruction fetch, which re-touches the same lines block after block).
+	if i := base + int(c.last[set]); c.valid[i] && c.tags[i] == tag {
+		c.stamp[i] = c.clock
+		return true
+	}
 	for w := 0; w < c.ways; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
 			c.stamp[base+w] = c.clock
+			c.last[set] = int32(w)
 			return true
 		}
 	}
@@ -85,6 +99,7 @@ func (c *Cache) Access(a addr.VA) bool {
 	c.valid[victim] = true
 	c.tags[victim] = tag
 	c.stamp[victim] = c.clock
+	c.last[set] = int32(victim - base)
 	return false
 }
 

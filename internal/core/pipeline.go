@@ -80,6 +80,7 @@ func RunPipelineContext(ctx context.Context, cfg Config, src trace.Source) (*Res
 		p.effCPI = min
 	}
 	p.ftqFree = make([]float64, cfg.Params.FetchQueueEntries)
+	initProduceTab(&p.produceTab, cfg.Params.FetchWidth)
 
 	var auditable btb.Auditable
 	if cfg.AuditEvery != 0 {
@@ -88,26 +89,32 @@ func RunPipelineContext(ctx context.Context, cfg Config, src trace.Source) (*Res
 
 	r := src.Open()
 	records := uint64(0)
-	for ; ; records++ {
-		if records&ctxCheckMask == 0 {
-			if err := checkCtx(ctx, records); err != nil {
-				return nil, err
-			}
-		}
-		b, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
+	batch := make([]isa.Branch, recordBatch)
+loop:
+	for {
+		if err := checkCtx(ctx, records); err != nil {
 			return nil, err
 		}
-		p.step(b)
-		if auditable != nil && records%cfg.AuditEvery == cfg.AuditEvery-1 {
-			if err := auditBTB(auditable, records); err != nil {
-				return nil, err
+		n, rerr := trace.ReadBatch(r, batch)
+		for i := 0; i < n; i++ {
+			p.step(batch[i])
+			records++
+			if auditable != nil && records%cfg.AuditEvery == 0 {
+				if err := auditBTB(auditable, records-1); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.MeasureInstrs != 0 && p.measured >= cfg.MeasureInstrs {
+				break loop
 			}
 		}
-		if cfg.MeasureInstrs != 0 && p.measured >= cfg.MeasureInstrs {
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return nil, rerr
+		}
+		if n == 0 {
 			break
 		}
 	}
@@ -142,6 +149,8 @@ type pipeline struct {
 	refill       bool    // next prediction pays the BTB extra latency
 	measureStart float64 // retireEnd when the measured window began
 	started      bool
+	// produceTab caches ceil(len/FetchWidth), as in sim.
+	produceTab [produceTabLen]float64
 }
 
 func (p *pipeline) step(b isa.Branch) {
@@ -199,7 +208,7 @@ func (p *pipeline) step(b isa.Branch) {
 	}
 
 	// --- Fetch: in-order, width-limited.
-	fetchCycles := float64((int(b.BlockLen) + par.FetchWidth - 1) / par.FetchWidth)
+	fetchCycles := produceCycles(&p.produceTab, b.BlockLen, par.FetchWidth)
 	fetchStart := ready
 	if p.fetchEnd > fetchStart {
 		fetchStart = p.fetchEnd

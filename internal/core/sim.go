@@ -13,10 +13,11 @@ import (
 	"repro/internal/trace"
 )
 
-// ctxCheckMask throttles context checks in the record loops: deadlines and
-// cancellation are observed every ctxCheckMask+1 records, keeping the check
-// off the per-record hot path.
-const ctxCheckMask = 1<<12 - 1
+// recordBatch is the reusable decode-buffer size of the record loops: the
+// trace is pulled in batches of this many records (trace.ReadBatch), which
+// amortizes Reader interface dispatch, and the context is checked once per
+// batch — the same cadence as the previous per-record loop's throttled check.
+const recordBatch = 1 << 12
 
 // checkCtx returns the context's error, wrapped with simulation progress,
 // when the context is done.
@@ -133,6 +134,7 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, err
 	if min := 1 / float64(cfg.Params.RetireWidth); s.effCPI < min {
 		s.effCPI = min
 	}
+	initProduceTab(&s.produceTab, cfg.Params.FetchWidth)
 
 	var auditable btb.Auditable
 	if cfg.AuditEvery != 0 {
@@ -141,26 +143,32 @@ func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, err
 
 	r := src.Open()
 	records := uint64(0)
-	for ; ; records++ {
-		if records&ctxCheckMask == 0 {
-			if err := checkCtx(ctx, records); err != nil {
-				return nil, err
-			}
-		}
-		b, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
+	batch := make([]isa.Branch, recordBatch)
+loop:
+	for {
+		if err := checkCtx(ctx, records); err != nil {
 			return nil, err
 		}
-		s.step(b)
-		if auditable != nil && records%cfg.AuditEvery == cfg.AuditEvery-1 {
-			if err := auditBTB(auditable, records); err != nil {
-				return nil, err
+		n, rerr := trace.ReadBatch(r, batch)
+		for i := 0; i < n; i++ {
+			s.step(batch[i])
+			records++
+			if auditable != nil && records%cfg.AuditEvery == 0 {
+				if err := auditBTB(auditable, records-1); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.MeasureInstrs != 0 && s.measured >= cfg.MeasureInstrs {
+				break loop
 			}
 		}
-		if cfg.MeasureInstrs != 0 && s.measured >= cfg.MeasureInstrs {
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return nil, rerr
+		}
+		if n == 0 {
 			break
 		}
 	}
@@ -183,6 +191,9 @@ type sim struct {
 	seen     uint64 // total instructions processed (incl. warmup)
 	measured uint64 // instructions inside the measured window
 	lead     float64
+	// produceTab caches ceil(len/FetchWidth) for short blocks, replacing a
+	// per-record integer division (see initProduceTab).
+	produceTab [produceTabLen]float64
 	// refill marks that the frontend pipeline was just flushed: the first
 	// multi-cycle BTB lookup afterwards exposes its extra latency (a
 	// pipelined 2-cycle BTB costs throughput nothing in steady state, only
@@ -229,7 +240,7 @@ func (s *sim) step(b isa.Branch) {
 	// overlap, so steady-state supply is unaffected; the latency is exposed
 	// only when the frontend restarts after a flush (and, mildly, as slower
 	// runahead growth, modelled by the lead debit below).
-	produce := float64((int(b.BlockLen) + p.FetchWidth - 1) / p.FetchWidth)
+	produce := produceCycles(&s.produceTab, b.BlockLen, p.FetchWidth)
 	extraUsed := b.Taken && pr.look.Hit && pr.look.ExtraLatency > 0 && (pr.dirPred || !b.Kind.IsConditional())
 	if extraUsed {
 		// Taken-branch lookups form a serial recurrence (the next lookup
@@ -280,6 +291,28 @@ func (s *sim) step(b isa.Branch) {
 			s.polluteWrongPath(b, pr.look)
 		}
 	}
+}
+
+// produceTabLen bounds the produce-cycles lookup table; blocks longer than
+// this (vanishingly rare — a block is one basic block) fall back to the
+// division.
+const produceTabLen = 256
+
+// initProduceTab fills tab[l] = ceil(l/fetchWidth) so the per-record cycle
+// accounting indexes instead of dividing.
+func initProduceTab(tab *[produceTabLen]float64, fetchWidth int) {
+	for i := range tab {
+		tab[i] = float64((i + fetchWidth - 1) / fetchWidth)
+	}
+}
+
+// produceCycles returns ceil(blockLen/fetchWidth) — width-limited cycles to
+// supply the block — via the precomputed table when possible.
+func produceCycles(tab *[produceTabLen]float64, blockLen uint16, fetchWidth int) float64 {
+	if int(blockLen) < produceTabLen {
+		return tab[blockLen]
+	}
+	return float64((int(blockLen) + fetchWidth - 1) / fetchWidth)
 }
 
 // polluteWrongPath models the ICache pollution of wrong-path fetch: until a

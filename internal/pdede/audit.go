@@ -28,7 +28,15 @@ func (p *PDede) Audit() error {
 		for w := 0; w < p.cfg.Ways; w++ {
 			e := &p.entries[base+w]
 			if !e.valid {
+				if p.scanTags[base+w] != scanInvalid {
+					return fmt.Errorf("pdede: set %d way %d scan mirror holds tag %#x for a free way",
+						s, w, p.scanTags[base+w])
+				}
 				continue
+			}
+			if p.scanTags[base+w] != e.tag {
+				return fmt.Errorf("pdede: set %d way %d scan mirror %#x disagrees with tag %#x",
+					s, w, p.scanTags[base+w], e.tag)
 			}
 			if e.offset >= 1<<addr.OffsetBits {
 				return fmt.Errorf("pdede: set %d way %d offset %#x exceeds %d bits",

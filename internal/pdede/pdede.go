@@ -148,6 +148,14 @@ func nextPow2(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
+func newScanTags(n int) []uint64 {
+	st := make([]uint64, n)
+	for i := range st {
+		st[i] = scanInvalid
+	}
+	return st
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {
@@ -179,7 +187,12 @@ type PDede struct {
 	halfWays  int // first narrow way index (Ways for non-MultiEntry)
 
 	entries []entry
-	repl    []*btb.SRRIP
+	// scanTags mirrors entries' (valid, tag) pairs as one flat word per way
+	// — the tag for live entries, scanInvalid for free ones — so the hot way
+	// scans touch 8 bytes per way instead of a 40-byte struct. Kept in sync
+	// at every entry (in)validation; Audit cross-checks the mirror.
+	scanTags []uint64
+	repl     []*btb.SRRIP
 
 	pages   *btb.DedupTable
 	regions *btb.DedupTable
@@ -195,6 +208,17 @@ type PDede struct {
 	lastPos  int
 
 	fullCandidates []int // scratch: way indices allowed for different-page
+
+	// Probe memo: Lookup leaves its decomposed (set, tag) and matched BTBM
+	// way for the immediately following Update of the same PC, hoisting the
+	// addr decomposition and way scan out of the BTBM probe→train sequence.
+	// One-shot: every Update consumes or invalidates it (updates mutate the
+	// set).
+	memoPC  addr.VA
+	memoSet uint64
+	memoTag uint64
+	memoWay int32 // matched way, -1 on miss
+	memoOK  bool
 
 	// Stats accumulates design-internal event counts since Reset.
 	Stats Stats
@@ -225,6 +249,10 @@ type entry struct {
 	ntOffset uint16
 }
 
+// scanInvalid marks a free way in the scanTags mirror. Real tags are
+// btb.TagBits (12) wide, so no live entry can carry it.
+const scanInvalid = ^uint64(0)
+
 // New builds a PDede BTB.
 func New(cfg Config) (*PDede, error) {
 	if err := cfg.Validate(); err != nil {
@@ -244,7 +272,8 @@ func New(cfg Config) (*PDede, error) {
 		indexBits: uint(bits.TrailingZeros(uint(cfg.Sets))),
 		halfWays:  cfg.Ways,
 		entries:   make([]entry, cfg.Sets*cfg.Ways),
-		repl:      make([]*btb.SRRIP, cfg.Sets),
+		scanTags:  newScanTags(cfg.Sets * cfg.Ways),
+		repl:      btb.NewSRRIPSlab(cfg.Sets, cfg.Ways, 2),
 		pages:     pages,
 		regions:   regions,
 	}
@@ -263,9 +292,6 @@ func New(cfg Config) (*PDede, error) {
 		for i := range p.lastRing {
 			p.lastRing[i] = -1
 		}
-	}
-	for i := range p.repl {
-		p.repl[i] = btb.NewSRRIP(cfg.Ways, 2)
 	}
 	p.fullCandidates = make([]int, p.halfWays)
 	for i := range p.fullCandidates {
@@ -286,6 +312,7 @@ func (p *PDede) narrow(w int) bool { return w >= p.halfWays }
 // Lookup implements btb.TargetPredictor (§4.4.1).
 func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 	set, tag := addr.IndexTag(pc, p.indexBits, btb.TagBits)
+	p.memoPC, p.memoSet, p.memoTag, p.memoWay, p.memoOK = pc, set, tag, -1, true
 	base := int(set) * p.cfg.Ways
 
 	armNext := false
@@ -293,12 +320,13 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 	result := btb.Lookup{}
 	found := false
 
-	for w := 0; w < p.cfg.Ways; w++ {
-		e := &p.entries[base+w]
-		if !e.valid || e.tag != tag {
+	for w, st := range p.scanTags[base : base+p.cfg.Ways] {
+		if st != tag {
 			continue
 		}
+		e := &p.entries[base+w]
 		found = true
+		p.memoWay = int32(w)
 		if e.delta {
 			// Same-page: concatenate the PC's page with the stored offset;
 			// no Page/Region access, no extra cycle.
@@ -344,19 +372,10 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 	if br.Kind.IsReturn() && !p.cfg.StoreReturns {
 		return
 	}
-	set, tag := addr.IndexTag(br.PC, p.indexBits, btb.TagBits)
+	set, tag, w := p.probe(br.PC)
 	base := int(set) * p.cfg.Ways
 	repl := p.repl[set]
 	samePage := br.PC.SamePage(br.Target) && !p.cfg.DisableDelta
-
-	w := -1
-	for i := 0; i < p.cfg.Ways; i++ {
-		e := &p.entries[base+i]
-		if e.valid && e.tag == tag {
-			w = i
-			break
-		}
-	}
 
 	if w >= 0 {
 		e := &p.entries[base+w]
@@ -408,6 +427,7 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 			// invalidate and fall through to a fresh allocation in the
 			// full ways.
 			e.valid = false
+			p.scanTags[base+w] = scanInvalid
 			w = -1
 		} else {
 			pp, rp, ok := p.allocPartition(br.Target)
@@ -446,8 +466,30 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 		pagePtr:   int32(pp),
 		regionPtr: int32(rp),
 	}
+	p.scanTags[base+w] = tag
 	repl.Insert(w)
 	p.noteMultiTarget(br, set, w, samePage)
+}
+
+// probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
+// Update immediately follows Lookup for the same PC and re-deriving
+// otherwise. The memo is consumed either way: the caller mutates the set.
+func (p *PDede) probe(pc addr.VA) (set, tag uint64, way int) {
+	if p.memoOK && p.memoPC == pc {
+		p.memoOK = false
+		return p.memoSet, p.memoTag, int(p.memoWay)
+	}
+	p.memoOK = false
+	set, tag = addr.IndexTag(pc, p.indexBits, btb.TagBits)
+	way = -1
+	base := int(set) * p.cfg.Ways
+	for w, st := range p.scanTags[base : base+p.cfg.Ways] {
+		if st == tag {
+			way = w
+			break
+		}
+	}
+	return set, tag, way
 }
 
 // predictFrom reconstructs the target an entry currently encodes.
@@ -555,12 +597,13 @@ func (p *PDede) Entries() int { return p.cfg.Sets * p.cfg.Ways }
 
 // Reset implements btb.TargetPredictor.
 func (p *PDede) Reset() {
+	p.memoOK = false
 	for i := range p.entries {
 		p.entries[i] = entry{}
+		p.scanTags[i] = scanInvalid
 	}
 	for _, r := range p.repl {
-		r2 := btb.NewSRRIP(p.cfg.Ways, 2)
-		*r = *r2
+		r.Reset()
 	}
 	p.pages.Reset()
 	p.regions.Reset()

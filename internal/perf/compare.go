@@ -1,0 +1,226 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON encodes a report with stable, human-diffable formatting.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON decodes and validates a report.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("perf: decoding report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// LoadReport reads a report from disk.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// SaveReport writes a report to disk.
+func SaveReport(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseTolerance accepts "8%", "8", or "0.08" forms, returning a fraction.
+func ParseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("perf: tolerance %q: %w", s, err)
+	}
+	if pct || v > 1 {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("perf: tolerance %v outside [0, 1)", v)
+	}
+	return v, nil
+}
+
+// DesignDelta aggregates one design's throughput change between two reports:
+// the geometric mean of per-cell records/sec ratios (new/old) across every
+// (app, model) cell present in both.
+type DesignDelta struct {
+	Design string
+	// Cells is the number of matched (app, model) measurements.
+	Cells int
+	// Ratio is the geomean of new/old records-per-second (1.0 = unchanged,
+	// <1 = slower).
+	Ratio float64
+	// WorstCell/WorstRatio single out the most-regressed cell.
+	WorstCell  string
+	WorstRatio float64
+	// OldRecSec/NewRecSec are the geomeans of the matched cells' absolute
+	// throughputs, for the table.
+	OldRecSec float64
+	NewRecSec float64
+	// Regressed is set when Ratio < 1 - tolerance.
+	Regressed bool
+}
+
+// Comparison is the outcome of comparing a new report against a baseline.
+type Comparison struct {
+	Tolerance float64
+	Designs   []DesignDelta
+	// MissingCells are baseline entries absent from the new report: a
+	// silently shrunk matrix must not pass as "no regression".
+	MissingCells []string
+	// HostMismatch notes a fingerprint difference (warning, not failure:
+	// CI runners vary; the tolerance absorbs it).
+	HostMismatch bool
+}
+
+// OK reports whether the comparison passes: no design regressed and no
+// baseline cell disappeared.
+func (c *Comparison) OK() bool {
+	if len(c.MissingCells) > 0 {
+		return false
+	}
+	for _, d := range c.Designs {
+		if d.Regressed {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns nil when the comparison passes, a descriptive error otherwise.
+func (c *Comparison) Err() error {
+	if c.OK() {
+		return nil
+	}
+	var parts []string
+	for _, d := range c.Designs {
+		if d.Regressed {
+			parts = append(parts, fmt.Sprintf("%s %.1f%% slower", d.Design, 100*(1-d.Ratio)))
+		}
+	}
+	if n := len(c.MissingCells); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d baseline cell(s) missing", n))
+	}
+	return fmt.Errorf("perf: regression beyond %.0f%% tolerance: %s",
+		100*c.Tolerance, strings.Join(parts, ", "))
+}
+
+// Compare evaluates a new report against a baseline at the given tolerance
+// (a fraction: 0.08 allows designs to lose up to 8% records/sec).
+func Compare(baseline, current *Report, tolerance float64) (*Comparison, error) {
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: baseline: %w", err)
+	}
+	if err := current.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: current: %w", err)
+	}
+	c := &Comparison{
+		Tolerance:    tolerance,
+		HostMismatch: baseline.Host != current.Host,
+	}
+
+	type acc struct {
+		cells          int
+		logSum         float64
+		logOld, logNew float64
+		worstCell      string
+		worstRatio     float64
+	}
+	byDesign := make(map[string]*acc)
+	var order []string
+	for _, old := range baseline.Entries {
+		cur, ok := current.Lookup(old.Key())
+		if !ok {
+			c.MissingCells = append(c.MissingCells, old.Key())
+			continue
+		}
+		a := byDesign[old.Design]
+		if a == nil {
+			a = &acc{worstRatio: math.Inf(1)}
+			byDesign[old.Design] = a
+			order = append(order, old.Design)
+		}
+		ratio := cur.RecordsPerSec / old.RecordsPerSec
+		a.cells++
+		a.logSum += math.Log(ratio)
+		a.logOld += math.Log(old.RecordsPerSec)
+		a.logNew += math.Log(cur.RecordsPerSec)
+		if ratio < a.worstRatio {
+			a.worstRatio = ratio
+			a.worstCell = old.App + "/" + old.Model
+		}
+	}
+	sort.Strings(c.MissingCells)
+	for _, name := range order {
+		a := byDesign[name]
+		n := float64(a.cells)
+		d := DesignDelta{
+			Design:     name,
+			Cells:      a.cells,
+			Ratio:      math.Exp(a.logSum / n),
+			WorstCell:  a.worstCell,
+			WorstRatio: a.worstRatio,
+			OldRecSec:  math.Exp(a.logOld / n),
+			NewRecSec:  math.Exp(a.logNew / n),
+		}
+		d.Regressed = d.Ratio < 1-tolerance
+		c.Designs = append(c.Designs, d)
+	}
+	return c, nil
+}
+
+// Table renders the per-design delta table (GitHub-flavored markdown, which
+// also reads fine as plain text in a terminal or a CI job summary).
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| design | cells | baseline rec/s | current rec/s | Δ | worst cell | status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---|---|\n")
+	for _, d := range c.Designs {
+		status := "ok"
+		if d.Regressed {
+			status = "**REGRESSED**"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s (%+.1f%%) | %s |\n",
+			d.Design, d.Cells, d.OldRecSec, d.NewRecSec, 100*(d.Ratio-1),
+			d.WorstCell, 100*(d.WorstRatio-1), status)
+	}
+	for _, m := range c.MissingCells {
+		fmt.Fprintf(&b, "| %s | | | | | | **MISSING** |\n", m)
+	}
+	if c.HostMismatch {
+		fmt.Fprintf(&b, "\n_host fingerprint differs from baseline — deltas are indicative only_\n")
+	}
+	return b.String()
+}

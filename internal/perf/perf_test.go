@@ -1,0 +1,231 @@
+package perf
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// syntheticReport builds a small well-formed report covering two designs ×
+// two cells, with round throughput numbers that make ratio assertions exact.
+func syntheticReport() *Report {
+	spec := Spec{
+		Apps: 2, TotalInstrs: 1000, WarmupInstrs: 100, Reps: 1,
+		Models:  []string{ModelAnalytic},
+		Designs: []string{"alpha", "beta"},
+	}
+	mk := func(design, app string, recPerSec float64) Entry {
+		const records = 1000
+		wall := int64(float64(records) / recPerSec * 1e9)
+		return Entry{
+			Design: design, App: app, Model: ModelAnalytic,
+			Records: records, Instructions: 5000,
+			WallNS:        wall,
+			NSPerRecord:   float64(wall) / records,
+			RecordsPerSec: recPerSec,
+			BytesPerOp:    4096, AllocsPerOp: 12,
+		}
+	}
+	return &Report{
+		Schema: SchemaVersion,
+		Spec:   spec,
+		Host:   CurrentHost(),
+		Entries: []Entry{
+			mk("alpha", "app-1", 4e6), mk("alpha", "app-2", 5e6),
+			mk("beta", "app-1", 2e6), mk("beta", "app-2", 3e6),
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	orig := syntheticReport()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("report changed across JSON round-trip:\nbefore %+v\nafter  %+v", orig, back)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := SaveReport(path, orig); err != nil {
+		t.Fatalf("SaveReport: %v", err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+	if !reflect.DeepEqual(orig, loaded) {
+		t.Fatalf("report changed across disk round-trip")
+	}
+}
+
+func TestReadJSONRejectsBadReports(t *testing.T) {
+	wrongSchema := syntheticReport()
+	wrongSchema.Schema = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, wrongSchema); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Fatalf("ReadJSON accepted schema %d, want %d", wrongSchema.Schema, SchemaVersion)
+	}
+
+	dup := syntheticReport()
+	dup.Entries = append(dup.Entries, dup.Entries[0])
+	buf.Reset()
+	if err := WriteJSON(&buf, dup); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Fatalf("ReadJSON accepted a duplicated entry")
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	base := syntheticReport()
+	cur := syntheticReport()
+	c, err := Compare(base, cur, 0.08)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Fatalf("identical reports failed comparison: %v", c.Err())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err on passing comparison: %v", err)
+	}
+	for _, d := range c.Designs {
+		if d.Ratio != 1 {
+			t.Fatalf("design %s ratio %v on identical reports, want 1", d.Design, d.Ratio)
+		}
+	}
+}
+
+func TestCompareFlagsSyntheticRegression(t *testing.T) {
+	base := syntheticReport()
+	cur := syntheticReport()
+	// Halve beta's throughput (a synthetic 2× slowdown); alpha unchanged.
+	for i := range cur.Entries {
+		if cur.Entries[i].Design != "beta" {
+			continue
+		}
+		cur.Entries[i].RecordsPerSec /= 2
+		cur.Entries[i].WallNS *= 2
+		cur.Entries[i].NSPerRecord *= 2
+	}
+	c, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.OK() {
+		t.Fatalf("comparison passed despite a 2× regression")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "beta") {
+		t.Fatalf("Err = %v, want mention of design beta", err)
+	}
+	var beta *DesignDelta
+	for i := range c.Designs {
+		switch c.Designs[i].Design {
+		case "beta":
+			beta = &c.Designs[i]
+		case "alpha":
+			if c.Designs[i].Regressed {
+				t.Fatalf("unchanged design alpha flagged as regressed")
+			}
+		}
+	}
+	if beta == nil {
+		t.Fatalf("no delta reported for design beta")
+	}
+	if !beta.Regressed {
+		t.Fatalf("beta not flagged: ratio %v at 25%% tolerance", beta.Ratio)
+	}
+	if beta.Ratio < 0.49 || beta.Ratio > 0.51 {
+		t.Fatalf("beta ratio %v, want ~0.5", beta.Ratio)
+	}
+	if got := c.Table(); !strings.Contains(got, "REGRESSED") {
+		t.Fatalf("delta table lacks REGRESSED marker:\n%s", got)
+	}
+}
+
+func TestCompareRejectsShrunkMatrix(t *testing.T) {
+	base := syntheticReport()
+	cur := syntheticReport()
+	cur.Entries = cur.Entries[:len(cur.Entries)-1]
+	c, err := Compare(base, cur, 0.08)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.OK() {
+		t.Fatalf("comparison passed with a baseline cell missing")
+	}
+	if len(c.MissingCells) != 1 {
+		t.Fatalf("MissingCells = %v, want exactly one", c.MissingCells)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"8%", 0.08, false},
+		{"8", 0.08, false},
+		{"0.08", 0.08, false},
+		{"25%", 0.25, false},
+		{"0", 0, false},
+		{"-1%", 0, true},
+		{"100%", 0, true},
+		{"nope", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseTolerance(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseTolerance(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseTolerance(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestCommittedBaselineValidates keeps the committed reports loadable: a
+// hand-edited baseline that no longer parses would disable the CI bench gate
+// silently (the job would fail for the wrong reason).
+func TestCommittedBaselineValidates(t *testing.T) {
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR3_BASELINE.json"} {
+		r, err := LoadReport(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Entries) == 0 {
+			t.Fatalf("%s: no entries", name)
+		}
+	}
+}
+
+// TestSelfCompareOfCommittedReport asserts the committed current report
+// passes a self-comparison (comparator exit-zero path) — the same invariant
+// `pdede-bench -compare BENCH_PR3.json -baseline BENCH_PR3.json` checks.
+func TestSelfCompareOfCommittedReport(t *testing.T) {
+	r, err := LoadReport(filepath.Join("..", "..", "BENCH_PR3.json"))
+	if err != nil {
+		t.Fatalf("loading committed report: %v", err)
+	}
+	c, err := Compare(r, r, 0)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if !c.OK() {
+		t.Fatalf("self-comparison failed: %v", c.Err())
+	}
+}

@@ -42,14 +42,19 @@ func NewBimodal(entries int) (*Bimodal, error) {
 
 func (b *Bimodal) Name() string { return "bimodal" }
 
-func (b *Bimodal) idx(pc addr.VA) int {
-	return int(addr.Mix64(uint64(pc)>>1) & b.mask)
-}
-
-func (b *Bimodal) Predict(pc addr.VA) bool { return b.ctr[b.idx(pc)] >= 2 }
+func (b *Bimodal) Predict(pc addr.VA) bool { return b.predictMixed(addr.Mix64(uint64(pc) >> 1)) }
 
 func (b *Bimodal) Update(pc addr.VA, taken bool) {
-	i := b.idx(pc)
+	b.updateMixed(addr.Mix64(uint64(pc)>>1), taken)
+}
+
+// predictMixed/updateMixed take the already-mixed PC hash, letting callers
+// that mix the PC anyway (TAGE shares one Mix64 across its base and tagged
+// probes) skip the repeat hash.
+func (b *Bimodal) predictMixed(h uint64) bool { return b.ctr[h&b.mask] >= 2 }
+
+func (b *Bimodal) updateMixed(h uint64, taken bool) {
+	i := h & b.mask
 	if taken {
 		if b.ctr[i] < 3 {
 			b.ctr[i]++

@@ -169,3 +169,17 @@ func (d *Decoder) Next() (isa.Branch, error) {
 		Taken:    flags&flagTaken != 0,
 	}, nil
 }
+
+// NextBatch implements BatchReader: it decodes records back-to-back without
+// re-crossing the Reader interface per record. Decoded records preceding an
+// error are returned alongside it.
+func (d *Decoder) NextBatch(buf []isa.Branch) (int, error) {
+	for i := range buf {
+		b, err := d.Next()
+		if err != nil {
+			return i, err
+		}
+		buf[i] = b
+	}
+	return len(buf), nil
+}

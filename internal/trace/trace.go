@@ -21,6 +21,35 @@ type Reader interface {
 	Next() (isa.Branch, error)
 }
 
+// BatchReader is an optional Reader extension for bulk decoding: NextBatch
+// fills buf with up to len(buf) records and returns how many it wrote. A
+// non-nil error may accompany n > 0; callers process the n records first and
+// handle the error afterwards (io.EOF means a clean end of trace). The hot
+// simulation loops read through this interface to amortize per-record
+// interface dispatch; ReadBatch adapts plain Readers.
+type BatchReader interface {
+	Reader
+	NextBatch(buf []isa.Branch) (n int, err error)
+}
+
+// ReadBatch fills buf from r, taking the BatchReader fast path when r
+// provides one and falling back to a Next loop otherwise. The error contract
+// matches BatchReader.NextBatch: records before the error are returned with
+// it, and io.EOF marks a clean end of trace.
+func ReadBatch(r Reader, buf []isa.Branch) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(buf)
+	}
+	for i := range buf {
+		b, err := r.Next()
+		if err != nil {
+			return i, err
+		}
+		buf[i] = b
+	}
+	return len(buf), nil
+}
+
 // Source produces fresh Readers over the same underlying trace. Simulation
 // methodology replays each application once per configuration, so sources
 // must be replayable and two Readers from one Source must yield identical
@@ -65,6 +94,16 @@ func (r *memReader) Next() (isa.Branch, error) {
 	b := r.records[r.pos]
 	r.pos++
 	return b, nil
+}
+
+// NextBatch implements BatchReader: a block copy out of the backing slice.
+func (r *memReader) NextBatch(buf []isa.Branch) (int, error) {
+	n := copy(buf, r.records[r.pos:])
+	r.pos += n
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
 }
 
 // Collect drains a Reader into memory. It stops at io.EOF and propagates any
