@@ -24,6 +24,11 @@ BENCH_BASELINE ?= BENCH_PR3.json
 BENCH_TOLERANCE ?= 8%
 BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 
+# Pinned third-party tool versions, shared with CI. @latest would make lint
+# results drift between a contributor's machine and the CI runner.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
 .PHONY: build test vet lint race fuzz cover bench check check-deep
 
 build:
@@ -35,16 +40,23 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet: gofmt drift and staticcheck. staticcheck is
-# optional locally (skipped with a notice when not installed); the CI lint
-# job installs it and gets the full check.
+# Static analysis beyond vet, in three layers:
+#   1. cmd/pdede-lint — the repository's own analyzer suite (determinism,
+#      hotpath, bitwidth, auditcontract, atomicwrite). Pure stdlib, always
+#      runs. Functions marked //pdede:hot are held to the allocation-free
+#      hot-path contract; see DESIGN.md "Statically enforced invariants".
+#   2. gofmt drift.
+#   3. staticcheck, at the pinned $(STATICCHECK_VERSION) — optional locally
+#      (skipped with a notice when not installed); the CI lint job installs
+#      exactly that version and gets the full check.
 lint: vet
+	$(GO) run ./cmd/pdede-lint ./...
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 	@echo "lint: ok"
 

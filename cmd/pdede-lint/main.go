@@ -1,0 +1,151 @@
+// pdede-lint is the repository's custom static-analysis suite: five
+// analyzers that enforce at compile time the contracts the runtime
+// verification machinery (differential oracle, deep audits, perf gate)
+// checks at run time.
+//
+//	determinism   no wall clock, global rand, or order-sensitive map
+//	              iteration in simulation/report packages
+//	hotpath       //pdede:hot functions stay free of defer, closures,
+//	              append and interface boxing
+//	bitwidth      shift/mask literals match the declared address
+//	              component widths (57-bit VA, 12-bit offset, ...)
+//	auditcontract every BTB design implements btb.Auditable and is
+//	              registered for the oracle sweep
+//	atomicwrite   checkpoint/report files go through atomicio
+//
+// Usage:
+//
+//	pdede-lint [flags] [packages]          # standalone, like go vet ./...
+//	go vet -vettool=$(which pdede-lint) ./...
+//
+// Standalone mode loads packages via `go list -export` (build-cache only,
+// no network). As a vettool it speaks cmd/go's unitchecker config
+// protocol. Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/atomicwrite"
+	"repro/internal/analysis/auditcontract"
+	"repro/internal/analysis/bitwidth"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lintkit"
+)
+
+// suite is the full analyzer set, in report order.
+func suite() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		bitwidth.Analyzer,
+		auditcontract.Analyzer,
+		atomicwrite.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// `go vet -vettool` probes the tool's version before handing it work.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("pdede-lint version 1\n")
+		return 0
+	}
+	// cmd/go also probes `-flags` for a JSON description of tool flags it
+	// may forward. The suite takes none in vettool mode.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	// Unitchecker protocol: a single *.cfg argument (possibly after flags
+	// cmd/go passes through).
+	if cfg := vetConfigArg(args); cfg != "" {
+		return runVettool(cfg)
+	}
+
+	fs := flag.NewFlagSet("pdede-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", "", "change to this directory before loading packages")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pdede-lint [flags] [packages]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nanalyzers:\n")
+		for _, a := range suite() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+
+	pkgs, err := lintkit.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+	diags, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pdede-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*lintkit.Analyzer, error) {
+	all := suite()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lintkit.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lintkit.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfigArg returns the unitchecker config path when the invocation is
+// the cmd/go vettool protocol (trailing *.cfg argument).
+func vetConfigArg(args []string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	last := args[len(args)-1]
+	if strings.HasSuffix(last, ".cfg") {
+		return last
+	}
+	return ""
+}

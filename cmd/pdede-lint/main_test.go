@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestVersionProbe(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Fatalf("-V=full exit %d, want 0", got)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("-list exit %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerIsOperationalError(t *testing.T) {
+	if got := run([]string{"-run", "nope", "./..."}); got != 2 {
+		t.Fatalf("-run nope exit %d, want 2", got)
+	}
+}
+
+// TestCleanTree pins the repository's own lint status: the full suite over
+// the full module must report nothing. A violation anywhere in the tree
+// fails this test the same way `make lint` does.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint skipped in -short mode")
+	}
+	if got := run([]string{"-C", "../..", "./..."}); got != 0 {
+		t.Fatalf("suite over the repository exit %d, want 0 (tree has lint findings)", got)
+	}
+}
+
+// seedCases is one minimal violating module per analyzer: seeding any single
+// violation must flip the exit status to 1.
+var seedCases = []struct {
+	name     string
+	analyzer string
+	files    map[string]string
+}{
+	{
+		name:     "determinism",
+		analyzer: "determinism",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": `package btb
+
+func FirstKey(m map[uint64]int) uint64 {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+`,
+		},
+	},
+	{
+		name:     "hotpath",
+		analyzer: "hotpath",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": `package btb
+
+func cleanup() {}
+
+//pdede:hot
+func Lookup(pc uint64) uint64 {
+	defer cleanup()
+	return pc
+}
+`,
+		},
+	},
+	{
+		name:     "bitwidth",
+		analyzer: "bitwidth",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/addr/addr.go": `package addr
+
+const (
+	VABits     = 57
+	PageShift  = 12
+	OffsetBits = PageShift
+)
+
+func Bad(x uint64) uint64 { return x >> 13 }
+`,
+		},
+	},
+	{
+		name:     "auditcontract",
+		analyzer: "auditcontract",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": `package btb
+
+type TargetPredictor interface {
+	Name() string
+}
+
+type Auditable interface{ Audit() error }
+
+type Unaudited struct{}
+
+func (*Unaudited) Name() string { return "u" }
+`,
+		},
+	},
+	{
+		name:     "atomicwrite",
+		analyzer: "atomicwrite",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/perf/perf.go": `package perf
+
+import "os"
+
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`,
+		},
+	},
+}
+
+// TestSeededViolations checks, per analyzer, that a single seeded violation
+// makes the standalone tool exit 1.
+func TestSeededViolations(t *testing.T) {
+	for _, tc := range seedCases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := linttest.WriteModule(t, tc.files)
+			if got := run([]string{"-C", root, "-run", tc.analyzer, "./..."}); got != 1 {
+				t.Fatalf("seeded %s violation: exit %d, want 1", tc.name, got)
+			}
+			// The clean remainder of the suite still passes on this module.
+			if got := run([]string{"-C", root, "./..."}); got != 1 {
+				t.Fatalf("full suite on seeded module: exit %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	root := linttest.WriteModule(t, map[string]string{
+		"go.mod": "module seed\n\ngo 1.22\n",
+		"internal/btb/btb.go": `package btb
+
+func Sum(m map[uint64]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	if got := run([]string{"-C", root, "./..."}); got != 0 {
+		t.Fatalf("clean module exit %d, want 0", got)
+	}
+}
+
+// TestVettoolProtocol drives the built binary through `go vet -vettool`,
+// the unitchecker path: a seeded violation must fail the vet run with the
+// diagnostic on stderr, and a clean module must pass.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vettool build skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "pdede-lint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pdede-lint: %v\n%s", err, out)
+	}
+
+	dirty := linttest.WriteModule(t, seedCases[0].files)
+	var stderr bytes.Buffer
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dirty
+	vet.Stderr = &stderr
+	if err := vet.Run(); err == nil {
+		t.Fatalf("go vet -vettool passed on a seeded violation\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nondeterministic map iteration") {
+		t.Fatalf("vet stderr missing the diagnostic:\n%s", stderr.String())
+	}
+
+	clean := linttest.WriteModule(t, map[string]string{
+		"go.mod":                "module seed\n\ngo 1.22\n",
+		"internal/btb/btb.go":   "package btb\n\nfunc ID(x uint64) uint64 { return x }\n",
+		"internal/core/core.go": "package core\n\nfunc Twice(x int) int { return 2 * x }\n",
+	})
+	stderr.Reset()
+	vet = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = clean
+	vet.Stderr = &stderr
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool failed on a clean module: %v\n%s", err, stderr.String())
+	}
+	_ = os.Environ // keep os import honest if assertions above change
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"repro/internal/analysis/lintkit"
+)
+
+// lintTypecheck builds a lintkit.Package from a vet config.
+func lintTypecheck(cfg *vetConfig) (*lintkit.Package, error) {
+	return lintkit.TypecheckFiles(cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+}
+
+// lintRun applies the full suite to one package.
+func lintRun(pkg *lintkit.Package) ([]lintkit.Diagnostic, error) {
+	return lintkit.Run([]*lintkit.Package{pkg}, suite())
+}

@@ -1,0 +1,91 @@
+package main
+
+// The `go vet -vettool` side of pdede-lint: cmd/go invokes the tool once
+// per package with a JSON config describing the files to analyze and where
+// every dependency's export data lives, mirroring
+// golang.org/x/tools/go/analysis/unitchecker — reimplemented here on the
+// standard library because the repository carries no external deps.
+//
+// Protocol (cmd/go/internal/work + unitchecker):
+//
+//  1. `pdede-lint -V=full` prints a version line used for build caching
+//     (handled in main).
+//  2. For each package, cmd/go runs `pdede-lint <file>.cfg`. The config
+//     carries GoFiles, ImportMap and PackageFile (import path → export
+//     data). The tool must write a "facts" output file (VetxOutput) —
+//     empty for this suite, which uses no cross-package facts — and, for
+//     packages where VetxOnly is false, report diagnostics on stderr with
+//     a non-zero exit when any were found.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config this tool consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pdede-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The suite computes no cross-package facts, but cmd/go requires the
+	// output file to exist before it will cache and proceed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return 0 // only gc export data is readable here
+	}
+
+	pkg, err := lintTypecheck(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+	diags, err := lintRun(pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2 // cmd/go's convention for "diagnostics reported"
+	}
+	return 0
+}

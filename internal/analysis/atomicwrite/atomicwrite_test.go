@@ -1,0 +1,13 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomicwrite"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{atomicwrite.Analyzer})
+}

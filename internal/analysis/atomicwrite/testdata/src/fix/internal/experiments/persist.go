@@ -1,0 +1,41 @@
+// Package experiments is an atomicwrite fixture standing in for the
+// persistence scope.
+package experiments
+
+import "os"
+
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile writes a checkpoint/report file non-atomically`
+}
+
+func CreateReport(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create writes a checkpoint/report file non-atomically`
+}
+
+func OpenCreate(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want `os.OpenFile`
+}
+
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path) // ok: reading
+}
+
+func OpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644) // ok: no O_CREATE
+}
+
+func TempFile(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "tmp-*") // ok: temp machinery the helper builds on
+}
+
+// StreamLog appends progressive text output, where atomicity is
+// meaningless.
+//
+//pdede:raw-write-ok streaming progress log
+func StreamLog(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+func LineEscape(path string) (*os.File, error) {
+	return os.Create(path) //pdede:raw-write-ok fixture escape on the line
+}

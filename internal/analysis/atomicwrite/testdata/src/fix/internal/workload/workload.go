@@ -1,0 +1,8 @@
+// Package workload is outside the atomicwrite scope.
+package workload
+
+import "os"
+
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // ok: out of scope
+}

@@ -1,0 +1,298 @@
+// Package auditcontract implements the pdede-lint analyzer tying every BTB
+// design to the runtime verification machinery.
+//
+// The differential-oracle subsystem (internal/oracle) only protects designs
+// that opt in twice: the type must implement btb.Auditable so deep
+// invariant checks run, and it must be constructed in the diff-design
+// registry (experiments.DiffDesigns) so the check-deep sweep actually
+// drives it against its reference oracle. Both obligations are easy to
+// forget when adding a design — the code builds, predicts, and silently
+// skips every safety net. This analyzer turns both omissions into lint
+// failures:
+//
+//   - every exported concrete type in a design package (internal/btb,
+//     internal/pdede, internal/shotgun, internal/multilevel) that
+//     implements btb.TargetPredictor must also implement btb.Auditable;
+//   - every such type must be constructed somewhere in the registry
+//     package (internal/experiments), which the check-deep sweep and the
+//     oracle tests enumerate via experiments.DiffDesigns.
+//
+// Escape hatch: `//pdede:unaudited-ok <reason>` in the type's doc comment
+// exempts a type from both requirements (for wrappers whose invariants are
+// fully delegated).
+package auditcontract
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// DesignScope is the import-path suffixes of packages that declare concrete
+// BTB designs.
+var DesignScope = []string{
+	"internal/btb",
+	"internal/pdede",
+	"internal/shotgun",
+	"internal/multilevel",
+}
+
+// RegistryScope is the package acting as the diff-design registry: every
+// design must be constructed somewhere inside it.
+const RegistryScope = "internal/experiments"
+
+// btbPkgSuffix locates the package declaring the contracts.
+const btbPkgSuffix = "internal/btb"
+
+// Analyzer is the audit-contract check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "auditcontract",
+	Doc: "require every concrete BTB design to implement btb.Auditable and to be " +
+		"constructed in the diff-design registry (internal/experiments)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if pass.InScope(DesignScope) {
+		checkAuditable(pass)
+	}
+	if lintkit.PathHasSuffix(pass.Pkg.Path(), RegistryScope) {
+		checkRegistry(pass)
+	}
+	return nil
+}
+
+// contracts resolves the TargetPredictor and Auditable interfaces from the
+// btb package (which may be the package under analysis or one of its
+// imports). Returns nils when unreachable — the analyzer then stays inert.
+func contracts(pass *lintkit.Pass) (predictor, auditable *types.Interface) {
+	lookup := func(pkg *types.Package) {
+		if !lintkit.PathHasSuffix(pkg.Path(), btbPkgSuffix) {
+			return
+		}
+		if tn, ok := pkg.Scope().Lookup("TargetPredictor").(*types.TypeName); ok {
+			if i, ok := tn.Type().Underlying().(*types.Interface); ok {
+				predictor = i
+			}
+		}
+		if tn, ok := pkg.Scope().Lookup("Auditable").(*types.TypeName); ok {
+			if i, ok := tn.Type().Underlying().(*types.Interface); ok {
+				auditable = i
+			}
+		}
+	}
+	lookup(pass.Pkg)
+	for _, imp := range pass.Pkg.Imports() {
+		if predictor != nil && auditable != nil {
+			break
+		}
+		lookup(imp)
+	}
+	return predictor, auditable
+}
+
+// isDesign reports whether named is an exported concrete type whose pointer
+// (or value) implements the predictor interface.
+func isDesign(named *types.Named, predictor *types.Interface) bool {
+	if !named.Obj().Exported() {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	return types.Implements(types.NewPointer(named), predictor) || types.Implements(named, predictor)
+}
+
+func implementsAuditable(named *types.Named, auditable *types.Interface) bool {
+	return types.Implements(types.NewPointer(named), auditable) || types.Implements(named, auditable)
+}
+
+// designTypes enumerates the design types declared in pkg, sorted by name.
+func designTypes(pkg *types.Package, predictor *types.Interface) []*types.Named {
+	var out []*types.Named
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if isDesign(named, predictor) {
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// checkAuditable flags designs in the package under analysis that skip the
+// Audit contract.
+func checkAuditable(pass *lintkit.Pass) {
+	predictor, auditable := contracts(pass)
+	if predictor == nil || auditable == nil {
+		return
+	}
+	for _, named := range designTypes(pass.Pkg, predictor) {
+		if implementsAuditable(named, auditable) {
+			continue
+		}
+		file, spec := typeSpecOf(pass, named.Obj().Name())
+		if spec != nil && typeExempt(pass, file, spec) {
+			continue
+		}
+		pos := named.Obj().Pos()
+		if spec != nil {
+			pos = spec.Pos()
+		}
+		pass.Reportf(pos, "BTB design %s implements TargetPredictor but not Auditable: add an Audit() error deep-check (or annotate //pdede:unaudited-ok with a reason)",
+			named.Obj().Name())
+	}
+}
+
+// typeSpecOf finds the declaration of a package-level type by name.
+func typeSpecOf(pass *lintkit.Pass, name string) (*ast.File, *ast.TypeSpec) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if ok && ts.Name.Name == name {
+					return file, ts
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// typeExempt reports whether the type's doc (or the line above the spec)
+// carries the unaudited-ok directive.
+func typeExempt(pass *lintkit.Pass, file *ast.File, ts *ast.TypeSpec) bool {
+	if pass.NodeHasDirective(file, ts, "unaudited-ok") {
+		return true
+	}
+	if ts.Doc != nil {
+		for _, c := range ts.Doc.List {
+			if strings.HasPrefix(c.Text, lintkit.DirectivePrefix+"unaudited-ok") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkRegistry verifies, from inside the registry package, that every
+// design type declared by the imported design packages is constructed
+// somewhere in this package.
+func checkRegistry(pass *lintkit.Pass) {
+	predictor, _ := contracts(pass)
+	if predictor == nil {
+		return
+	}
+
+	// Everything this package constructs (any call returning a design type,
+	// including the (T, error) constructor shape), plus composite literals.
+	constructed := map[string]bool{}
+	noteType := func(t types.Type) {
+		if t == nil {
+			return
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && isDesign(named, predictor) {
+			constructed[keyOf(named)] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch rt := pass.TypesInfo.TypeOf(n).(type) {
+				case *types.Tuple:
+					for i := 0; i < rt.Len(); i++ {
+						noteType(rt.At(i).Type())
+					}
+				default:
+					noteType(rt)
+				}
+			case *ast.CompositeLit:
+				noteType(pass.TypesInfo.TypeOf(n))
+			}
+			return true
+		})
+	}
+
+	exempt := registryExemptions(pass)
+	var missing []string
+	for _, imp := range pass.Pkg.Imports() {
+		inScope := false
+		for _, s := range DesignScope {
+			if lintkit.PathHasSuffix(imp.Path(), s) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		for _, named := range designTypes(imp, predictor) {
+			key := keyOf(named)
+			if !constructed[key] && !exempt[named.Obj().Name()] {
+				missing = append(missing, key)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(anchorPos(pass), "diff-design registry is missing %s: construct them here so the oracle sweep covers them (or annotate //pdede:unregistered-ok <Type> <reason>)",
+		strings.Join(missing, ", "))
+}
+
+func keyOf(named *types.Named) string {
+	return fmt.Sprintf("%s.%s", named.Obj().Pkg().Name(), named.Obj().Name())
+}
+
+// registryExemptions collects `//pdede:unregistered-ok TypeName reason`
+// directives anywhere in the registry package.
+func registryExemptions(pass *lintkit.Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, d := range pass.FileDirectives(file) {
+			if d.Name != "unregistered-ok" {
+				continue
+			}
+			if name, _, _ := strings.Cut(d.Args, " "); name != "" {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+// anchorPos picks a stable position for package-level registry findings:
+// the DiffDesigns declaration when present, the first file otherwise.
+func anchorPos(pass *lintkit.Pass) token.Pos {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == "DiffDesigns" {
+				return fn.Pos()
+			}
+		}
+	}
+	return pass.Files[0].Pos()
+}

@@ -1,0 +1,13 @@
+package auditcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/auditcontract"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestAuditContract(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{auditcontract.Analyzer})
+}

@@ -1,0 +1,54 @@
+// Package btb is an auditcontract fixture declaring the two contracts and
+// a spread of designs: audited/registered, audited/unregistered, and
+// unaudited.
+package btb
+
+// TargetPredictor mirrors the real contract's shape.
+type TargetPredictor interface {
+	Name() string
+	Reset()
+}
+
+// Auditable is the deep-check contract.
+type Auditable interface{ Audit() error }
+
+// Good implements both contracts and is constructed in the registry.
+type Good struct{}
+
+func (*Good) Name() string { return "good" }
+func (*Good) Reset()       {}
+func (*Good) Audit() error { return nil }
+
+// NewGood is the (T, error) constructor shape the registry uses.
+func NewGood() (*Good, error) { return &Good{}, nil }
+
+// Orphan implements both contracts but never appears in the registry.
+type Orphan struct{}
+
+func (*Orphan) Name() string { return "orphan" }
+func (*Orphan) Reset()       {}
+func (*Orphan) Audit() error { return nil }
+
+type Unaudited struct{} // want `BTB design Unaudited implements TargetPredictor but not Auditable`
+
+func (*Unaudited) Name() string { return "unaudited" }
+func (*Unaudited) Reset()       {}
+
+// Delegating wraps another design and exposes no state of its own.
+//
+//pdede:unaudited-ok invariants fully delegated to the wrapped design
+type Delegating struct{ inner TargetPredictor }
+
+func (*Delegating) Name() string { return "delegating" }
+func (*Delegating) Reset()       {}
+
+// helper is unexported: outside the contract.
+type helper struct{}
+
+func (*helper) Name() string { return "helper" }
+func (*helper) Reset()       {}
+
+// Table is exported but not a predictor: outside the contract.
+type Table struct{}
+
+func (*Table) Size() int { return 0 }

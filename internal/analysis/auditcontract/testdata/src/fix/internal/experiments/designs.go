@@ -1,0 +1,19 @@
+// Package experiments is the auditcontract fixture registry.
+//
+//pdede:unregistered-ok Unaudited fixture type exercising the auditable check
+//pdede:unregistered-ok Delegating covered through the designs it wraps
+package experiments
+
+import "fix/internal/btb"
+
+// Design mirrors the real registry entry shape.
+type Design struct {
+	Name string
+	New  func() (btb.TargetPredictor, error)
+}
+
+func DiffDesigns() []Design { // want `diff-design registry is missing btb.Orphan`
+	return []Design{
+		{Name: "good", New: func() (btb.TargetPredictor, error) { return btb.NewGood() }},
+	}
+}

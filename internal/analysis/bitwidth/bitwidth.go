@@ -1,0 +1,257 @@
+// Package bitwidth implements the pdede-lint analyzer that cross-checks
+// shift and mask constants against the declared address-component widths.
+//
+// The whole delta/partition encoding rests on a handful of widths declared
+// once in internal/addr: 57 significant VA bits, a 12-bit page offset, an
+// 18-bit page index, a 27-bit region index (and btb.TagBits = 12). Every
+// shift or mask in the encoding must be one of those widths or a
+// combination of them. A stray `>> 13` or `& 0x1FFF` compiles, audits
+// cleanly on most traces, and silently corrupts delta composition on the
+// rest — precisely the silent-model-drift failure mode the oracle exists
+// for, except cheaper to rule out before running anything.
+//
+// In the address-manipulating packages (internal/addr, internal/btb,
+// internal/pdede) the analyzer therefore flags:
+//
+//   - shifts (`<<`, `>>`) by a bare integer literal between 8 and 63 whose
+//     value is not a declared component width or a sum/difference of them.
+//     Amounts written via the named constants (addr.PageShift, ...) always
+//     pass — the point is that widths are spelled once;
+//   - masks (`&`, `&^`, `|`) against a bare low-bit literal (2^k − 1) whose
+//     width k is similarly undeclared.
+//
+// Shifts below 8 bits (flag packing, ×2/÷2 arithmetic) are ignored: they
+// are never component widths and flagging them would be noise.
+//
+// Escape hatch: `//pdede:bitwidth-ok <reason>` on the line, the line
+// above, or the enclosing function's doc comment — for constants that are
+// genuinely not field widths (hash avalanche rotations, for example).
+package bitwidth
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Scope is the import-path suffixes of the packages whose shifts and masks
+// manipulate 57-bit addresses and their components.
+var Scope = []string{
+	"internal/addr",
+	"internal/btb",
+	"internal/pdede",
+}
+
+// widthSourcePkg is the package (by import-path suffix) declaring the
+// canonical component widths.
+const widthSourcePkg = "internal/addr"
+
+// widthConsts are the declared-width constant names read from the width
+// source package.
+var widthConsts = []string{
+	"VABits", "PageShift", "RegionShift", "OffsetBits", "PageBits", "RegionBits",
+}
+
+// extraWidthSources maps additional package suffixes to width constants
+// they contribute (the restricted tag width lives with the BTBs).
+var extraWidthSources = map[string][]string{
+	"internal/btb": {"TagBits"},
+}
+
+// Analyzer is the bitwidth check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "bitwidth",
+	Doc: "flag shift/mask literals in address-component code that do not match " +
+		"the declared region/page/offset widths (57-bit VA, 12-bit offset)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !pass.InScope(Scope) {
+		return nil
+	}
+	allowed := declaredWidths(pass)
+	if len(allowed) == 0 {
+		return nil // no width declarations reachable: nothing to check against
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.SHL, token.SHR:
+				checkShift(pass, file, allowed, be)
+			case token.AND, token.AND_NOT, token.OR:
+				checkMask(pass, file, allowed, be, be.X)
+				checkMask(pass, file, allowed, be, be.Y)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declaredWidths collects the allowed width values: the declared constants
+// plus their pairwise differences (PageAddr shifts by PageShift and keeps
+// VABits−PageShift bits, and so on).
+func declaredWidths(pass *lintkit.Pass) map[int64][]string {
+	vals := map[string]int64{}
+	read := func(scope *types.Scope, names []string, qual string) {
+		for _, name := range names {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+				vals[qual+name] = v
+			}
+		}
+	}
+	consider := func(pkg *types.Package) {
+		qual := ""
+		if pkg != pass.Pkg {
+			qual = pkg.Name() + "."
+		}
+		if lintkit.PathHasSuffix(pkg.Path(), widthSourcePkg) {
+			read(pkg.Scope(), widthConsts, qual)
+		}
+		for suffix, names := range extraWidthSources {
+			if lintkit.PathHasSuffix(pkg.Path(), suffix) {
+				read(pkg.Scope(), names, qual)
+			}
+		}
+	}
+	consider(pass.Pkg)
+	for _, imp := range pass.Pkg.Imports() {
+		consider(imp)
+	}
+
+	allowed := map[int64][]string{}
+	note := func(v int64, how string) {
+		for _, h := range allowed[v] {
+			if h == how {
+				return
+			}
+		}
+		allowed[v] = append(allowed[v], how)
+	}
+	for n, v := range vals {
+		note(v, n)
+	}
+	for a, va := range vals {
+		for b, vb := range vals {
+			if va-vb > 0 {
+				note(va-vb, a+"-"+b)
+			}
+			if va+vb < 64 {
+				note(va+vb, a+"+"+b)
+			}
+		}
+	}
+	for _, hows := range allowed {
+		sort.Strings(hows)
+	}
+	return allowed
+}
+
+// literalInt returns the constant value of e when e is built purely from
+// literals — no identifier anywhere, so nothing ties it to the declared
+// widths.
+func literalInt(pass *lintkit.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	hasIdent := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			hasIdent = true
+			return false
+		}
+		return true
+	})
+	if hasIdent {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+func allowedHint(allowed map[int64][]string) string {
+	var ws []int64
+	for w := range allowed {
+		if w >= 8 {
+			ws = append(ws, w)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = allowed[w][0]
+	}
+	return strings.Join(parts, ", ")
+}
+
+func exempt(pass *lintkit.Pass, file *ast.File, n ast.Node) bool {
+	if pass.NodeHasDirective(file, n, "bitwidth-ok") {
+		return true
+	}
+	// Function-level exemption via doc directive.
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if n.Pos() >= fn.Body.Pos() && n.End() <= fn.Body.End() {
+			return pass.FuncHasDirective(file, fn, "bitwidth-ok")
+		}
+	}
+	return false
+}
+
+func checkShift(pass *lintkit.Pass, file *ast.File, allowed map[int64][]string, be *ast.BinaryExpr) {
+	v, ok := literalInt(pass, be.Y)
+	if !ok || v < 8 || v >= 64 {
+		return
+	}
+	if _, ok := allowed[v]; ok {
+		return
+	}
+	if exempt(pass, file, be) {
+		return
+	}
+	pass.Reportf(be.Pos(), "shift by bare literal %d does not match any declared component width; spell it with the addr constants (declared: %s)",
+		v, allowedHint(allowed))
+}
+
+func checkMask(pass *lintkit.Pass, file *ast.File, allowed map[int64][]string, be *ast.BinaryExpr, operand ast.Expr) {
+	v, ok := literalInt(pass, operand)
+	if !ok || v <= 0 {
+		return
+	}
+	u := uint64(v)
+	if u&(u+1) != 0 {
+		return // not a low-bit mask 2^k-1
+	}
+	k := int64(bits.Len64(u))
+	if k < 8 || k > 64 {
+		return
+	}
+	if _, ok := allowed[k]; ok {
+		return
+	}
+	if exempt(pass, file, be) {
+		return
+	}
+	pass.Reportf(operand.Pos(), "mask %#x selects %d low bits, which is not a declared component width; derive it from the addr constants (declared: %s)",
+		v, k, allowedHint(allowed))
+}

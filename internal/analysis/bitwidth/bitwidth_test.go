@@ -1,0 +1,13 @@
+package bitwidth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/bitwidth"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestBitwidth(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{bitwidth.Analyzer})
+}

@@ -1,0 +1,52 @@
+// Package addr is a bitwidth fixture declaring the canonical component
+// widths, mirroring the real internal/addr (57-bit VA, 12-bit offset,
+// 18-bit page, 27-bit region).
+package addr
+
+const (
+	VABits      = 57
+	PageShift   = 12
+	RegionShift = 30
+	OffsetBits  = PageShift
+	PageBits    = RegionShift - PageShift
+	RegionBits  = VABits - RegionShift
+)
+
+func PageOf(x uint64) uint64 {
+	return (x >> PageShift) & ((1 << PageBits) - 1) // ok: named constants
+}
+
+func BadShift(x uint64) uint64 {
+	return x >> 13 // want `shift by bare literal 13`
+}
+
+func BadMask(x uint64) uint64 {
+	return x & 0x1fff // want `mask 0x1fff selects 13 low bits`
+}
+
+func SmallShift(x uint64) uint64 {
+	return x << 3 // ok: below the 8-bit floor (flag packing, not a width)
+}
+
+func DeclaredLiteral(x uint64) uint64 {
+	return x >> 12 // ok: 12 is a declared width even spelled bare
+}
+
+func SumOfWidths(x uint64) uint64 {
+	return x >> 45 // ok: VABits-PageShift
+}
+
+func NonMaskLiteral(x uint64) uint64 {
+	return x & 0xff00 // ok: not a low-bit 2^k-1 mask
+}
+
+// Mixer scrambles bits; its shift amounts are avalanche constants.
+//
+//pdede:bitwidth-ok avalanche rotation constants, not field widths
+func Mixer(x uint64) uint64 {
+	return x ^ x>>31
+}
+
+func LineEscape(x uint64) uint64 {
+	return x >> 23 //pdede:bitwidth-ok fixture escape on the offending line
+}

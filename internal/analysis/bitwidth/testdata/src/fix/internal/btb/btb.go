@@ -1,0 +1,23 @@
+// Package btb is a bitwidth fixture: it contributes TagBits and checks
+// widths imported from the addr fixture.
+package btb
+
+import "fix/internal/addr"
+
+const TagBits = 12
+
+func Tag(x uint64) uint64 {
+	return x & ((1 << TagBits) - 1) // ok: named constant
+}
+
+func BadTag(x uint64) uint64 {
+	return x & 0xffff // want `mask 0xffff selects 16 low bits`
+}
+
+func Index(x uint64) uint64 {
+	return x >> addr.PageShift // ok: named constant from addr
+}
+
+func TagPlusPage(x uint64) uint64 {
+	return x >> 30 // ok: TagBits+addr.PageBits (and addr.RegionShift)
+}

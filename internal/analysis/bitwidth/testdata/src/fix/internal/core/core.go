@@ -1,0 +1,6 @@
+// Package core is outside the bitwidth scope: bare shifts pass untouched.
+package core
+
+func Hash(x uint64) uint64 {
+	return x>>13 ^ x&0x1fff // ok: out of scope
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{determinism.Analyzer})
+}

@@ -1,0 +1,86 @@
+// Package btb is a determinism fixture standing in for a simulation-scope
+// package (its import path ends in internal/btb).
+package btb
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Clock() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+func Jitter() int {
+	return rand.Intn(8) // want `process-seeded global source`
+}
+
+func Draw(r *rand.Rand) int {
+	return r.Intn(8) // ok: explicit seeded generator
+}
+
+func NewGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: constructors do not draw
+}
+
+func FirstKey(m map[uint64]int) uint64 {
+	for k := range m { // want `returning from inside the loop`
+		return k
+	}
+	return 0
+}
+
+func Sum(m map[uint64]int) int {
+	total := 0
+	for _, v := range m { // ok: commutative accumulation
+		total += v
+	}
+	return total
+}
+
+func Histogram(m map[uint64]int) map[int]int {
+	h := map[int]int{}
+	for _, v := range m { // ok: map-index writes commute
+		h[v]++
+	}
+	return h
+}
+
+func Keys(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { // ok: blessed collect-then-sort idiom
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func Winner(m map[int]int) int {
+	best, bestN := -1, 0
+	for id, n := range m { // want `selecting a winner by comparison`
+		if n > bestN {
+			best, bestN = id, n
+		}
+	}
+	return best
+}
+
+func Escaped(m map[int]int) {
+	for id := range m { //pdede:nondet-ok fixture: order provably cannot reach results
+		println(id)
+	}
+}
+
+func SliceRange(xs []int) int {
+	for i, v := range xs { // ok: slices iterate in index order
+		if v > 0 {
+			return i
+		}
+	}
+	return -1
+}

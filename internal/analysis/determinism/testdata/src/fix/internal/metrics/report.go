@@ -1,0 +1,23 @@
+// Package metrics is a determinism fixture for the report scope: map
+// iteration must be ordered, but wall-clock reads are legal here.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `a call whose effects may depend on iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+func Stamp() int64 {
+	return time.Now().Unix() // ok: wall clock is legal outside simulation packages
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-seeded global source`
+}

@@ -1,0 +1,15 @@
+// Package tools is out of both determinism scopes: nothing here is flagged.
+package tools
+
+import "time"
+
+func FirstKey(m map[uint64]int) uint64 {
+	for k := range m { // ok: out of scope
+		return k
+	}
+	return 0
+}
+
+func Clock() int64 {
+	return time.Now().UnixNano() // ok: out of scope
+}

@@ -1,0 +1,208 @@
+// Package hotpath implements the pdede-lint analyzer for `//pdede:hot`
+// functions.
+//
+// The PR 3 performance work rebuilt the per-branch simulation path —
+// Lookup/probe/Update with their one-shot probe memos and packed
+// sentinel-tag scan arrays — to run allocation-free: the whole 102-app
+// suite lives inside these few functions. A single innocent-looking edit
+// (a defer, a closure, an append, passing a concrete value to an
+// interface parameter) silently reintroduces per-branch allocations or
+// dynamic dispatch and costs double-digit percentages of records/sec,
+// which the pdede-bench gate only notices after the fact.
+//
+// Marking a function with the `//pdede:hot` directive in its doc comment
+// makes those edits compile-time errors of the lint suite. Inside a hot
+// function the analyzer forbids:
+//
+//   - defer statements (forced frame bookkeeping on every call);
+//   - function literals (closure allocation, inhibits inlining);
+//   - append (growth ⇒ allocation; hot structures are pre-sized);
+//   - conversions of concrete values to interface types, explicit or
+//     implicit (boxing allocates for non-pointer values and adds dynamic
+//     dispatch). Calling a method *through* an existing interface value
+//     (e.g. the replacement-policy vtable) stays legal: it does not box.
+//
+// The directive is a contract, not a heuristic: annotate the functions the
+// profiler shows hot, and the analyzer keeps them that way.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Directive marks a function as hot-path in its doc comment.
+const Directive = "hot"
+
+// Analyzer is the hot-path check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "hotpath",
+	Doc: "forbid defer, closures, append and interface boxing inside functions " +
+		"marked //pdede:hot (the per-branch simulation fast path)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.FuncHasDirective(file, fn, Directive) {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+func check(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //pdede:hot function %s: frame bookkeeping on the per-branch path", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //pdede:hot function %s: goroutine launch on the per-branch path", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //pdede:hot function %s: allocates and inhibits inlining", name)
+			return false // its body is not part of the hot frame
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.AssignStmt:
+			checkAssign(pass, name, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, name, fn, n)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, name, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lintkit.Pass, name string, call *ast.CallExpr) {
+	// Builtin append.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" {
+				pass.Reportf(call.Pos(), "append in //pdede:hot function %s: growth allocates; pre-size the structure", name)
+			}
+			return
+		}
+	}
+	// Explicit conversion to an interface type: T(x) with T an interface.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s in //pdede:hot function %s boxes its operand", types.TypeString(tv.Type, nil), name)
+		}
+		return
+	}
+	// Implicit conversions at call boundaries: concrete argument, interface
+	// parameter.
+	sigT := pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole: no boxing
+				if i == params.Len()-1 {
+					pt = nil // the slice itself
+				}
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && isInterface(pt) && boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument %d of call in //pdede:hot function %s is boxed into interface %s", i, name, types.TypeString(pt, nil))
+		}
+	}
+}
+
+func checkAssign(pass *lintkit.Pass, name string, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, l := range as.Lhs {
+		lt := pass.TypesInfo.TypeOf(l)
+		if lt != nil && isInterface(lt) && boxes(pass, as.Rhs[i]) {
+			pass.Reportf(as.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(lt, nil), name)
+		}
+	}
+}
+
+func checkReturn(pass *lintkit.Pass, name string, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fn.Type.Results == nil {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range fn.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return
+	}
+	for i, r := range ret.Results {
+		if resultTypes[i] != nil && isInterface(resultTypes[i]) && boxes(pass, r) {
+			pass.Reportf(r.Pos(), "return boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(resultTypes[i], nil), name)
+		}
+	}
+}
+
+func checkValueSpec(pass *lintkit.Pass, name string, vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(vs.Type)
+	if t == nil || !isInterface(t) {
+		return
+	}
+	for _, v := range vs.Values {
+		if boxes(pass, v) {
+			pass.Reportf(v.Pos(), "var declaration boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(t, nil), name)
+		}
+	}
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether expr has a concrete (non-interface, non-nil) type,
+// i.e. using it as an interface value requires a conversion.
+func boxes(pass *lintkit.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	b, isBasic := tv.Type.Underlying().(*types.Basic)
+	if isBasic && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}

@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{hotpath.Analyzer})
+}

@@ -1,0 +1,78 @@
+// Package btb is a hotpath fixture: only functions carrying the
+// //pdede:hot directive in their doc comment are checked.
+package btb
+
+type policy interface{ Touch(w int) }
+
+func trace() {}
+
+func each(f func(int)) { _ = f }
+
+func sink(v interface{}) { _ = v }
+
+//pdede:hot
+func HotDefer() {
+	defer trace() // want `defer in //pdede:hot function HotDefer`
+}
+
+//pdede:hot
+func HotGo() {
+	go trace() // want `go statement in //pdede:hot function HotGo`
+}
+
+//pdede:hot
+func HotClosure() {
+	each(func(int) {}) // want `closure in //pdede:hot function HotClosure`
+}
+
+//pdede:hot
+func HotAppend(xs []int, v int) []int {
+	xs = append(xs, v) // want `append in //pdede:hot function HotAppend`
+	return xs
+}
+
+//pdede:hot
+func HotArgBox(x int) {
+	sink(x) // want `boxed into interface`
+}
+
+//pdede:hot
+func HotAssignBox(x int) {
+	var i interface{}
+	i = x // want `assignment boxes a concrete value`
+	_ = i
+}
+
+//pdede:hot
+func HotVarBox(x int) {
+	var i interface{} = x // want `var declaration boxes a concrete value`
+	_ = i
+}
+
+//pdede:hot
+func HotConvBox(x int) interface{} {
+	return interface{}(x) // want `conversion to interface`
+}
+
+//pdede:hot
+func HotReturnBox(x int) interface{} {
+	return x // want `return boxes a concrete value`
+}
+
+// HotClean exercises everything the hot path is allowed to do: index
+// arithmetic, calls through existing interface values, nil interfaces.
+//
+//pdede:hot
+func HotClean(p policy, xs []int, w int) int {
+	p.Touch(w) // ok: call through an existing interface value does not box
+	sink(nil)  // ok: nil is not boxed
+	xs[0] = w  // ok
+	return xs[w%len(xs)]
+}
+
+// cold is unmarked: the same constructs pass untouched.
+func cold(xs []int) []int {
+	defer trace()
+	sink(1)
+	return append(xs, 1)
+}

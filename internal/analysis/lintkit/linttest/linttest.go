@@ -1,0 +1,152 @@
+// Package linttest runs lintkit analyzers over fixture modules and checks
+// their diagnostics against `// want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a small self-contained Go module (its own go.mod, usually
+// named "fix") living under the analyzer's testdata/src directory. Nesting
+// a module keeps fixtures out of the repository build while letting the
+// loader compile them exactly like real code. Fixture packages mirror the
+// real tree's import-path suffixes (e.g. fix/internal/btb) so the
+// analyzers' package-scoping applies unchanged.
+//
+// Expectations are written on the offending line:
+//
+//	for k := range m { // want `map iteration`
+//
+// The backquoted (or double-quoted) string is a regexp matched against the
+// diagnostic message. Multiple expectations may share one line. Lines with
+// no comment must produce no diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// wantRe matches one expectation inside a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzers to the
+// packages matching patterns (default ./...), and reports any mismatch
+// between diagnostics and want comments as test errors.
+func Run(t *testing.T, dir string, analyzers []*lintkit.Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lintkit.Load(abs, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	diags, err := lintkit.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.GoFiles {
+			ws, err := parseWants(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by d.
+func claim(wants []*expectation, d lintkit.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want` expectations from one fixture file.
+func parseWants(path string) ([]*expectation, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want`") {
+				continue
+			}
+			text = strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			pos := fset.Position(c.Slash)
+			for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+				raw := m[1]
+				if raw == "" {
+					raw = m[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", path, pos.Line, raw, err)
+				}
+				wants = append(wants, &expectation{file: path, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// WriteModule materializes a fixture module from a map of relative path →
+// contents under t.TempDir() and returns its root. It is used by tests that
+// need to synthesize a module on the fly (e.g. seeding a violation into an
+// otherwise clean tree) rather than committing it under testdata.
+func WriteModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}

@@ -1,0 +1,56 @@
+// Package atomicio is the single write path for checkpoint and report
+// files: write to a temp file in the destination directory, then rename
+// over the target. Readers — including a resumed run inspecting its own
+// previous checkpoint — therefore observe either the old complete document
+// or the new complete document, never a torn one.
+//
+// The pdede-lint atomicwrite analyzer statically enforces that the
+// persistence packages (internal/experiments, internal/perf) create files
+// only through this package.
+package atomicio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temp file is created
+// in path's directory so the final rename never crosses filesystems. On
+// error the temp file is removed; path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Chmod(name, perm); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON atomically replaces path with the indented JSON encoding of v.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("atomicio: encoding %s: %w", path, err)
+	}
+	return WriteFile(path, append(data, '\n'), 0o644)
+}

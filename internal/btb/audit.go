@@ -3,6 +3,7 @@ package btb
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/addr"
 )
@@ -231,9 +232,16 @@ func (d *DedupBTB) StateDigest() uint64 {
 // --- Perfect ---------------------------------------------------------------
 
 // Audit implements Auditable: the map-backed design only has to keep its
-// stored targets 57-bit clean.
+// stored targets 57-bit clean. Keys are visited in sorted order so the
+// first reported violation is the same on every run.
 func (p *Perfect) Audit() error {
-	for pc, e := range p.targets {
+	pcs := make([]addr.VA, 0, len(p.targets))
+	for pc := range p.targets {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		e := p.targets[pc]
 		if uint64(e.target)&^addr.Mask != 0 {
 			return fmt.Errorf("btb: perfect entry %v target %#x exceeds %d bits",
 				pc, uint64(e.target), addr.VABits)

@@ -31,9 +31,6 @@ type Baseline struct {
 	ghrpShared *ghrpTables
 	reused     []bool
 
-	// storeReturns mirrors §5.7: if set, returns also allocate (no RAS).
-	storeReturns bool
-
 	// Probe memo: Lookup leaves its decomposed (set, tag) and matched way
 	// for the immediately following Update of the same PC (the BPU's
 	// probe→train sequence), which then skips the re-hash and re-scan.
@@ -44,13 +41,19 @@ type Baseline struct {
 	memoTag uint64
 	memoWay int32 // matched way, -1 on miss
 	memoOK  bool
+
+	// storeReturns mirrors §5.7: if set, returns also allocate (no RAS).
+	storeReturns bool
 }
 
+// baseEntry is field-ordered widest-first: the 4096-entry array is the
+// baseline's dominant allocation, and this layout packs it at 24 bytes
+// per entry instead of 32.
 type baseEntry struct {
-	valid  bool
 	tag    uint64
 	target addr.VA
 	conf   conf
+	valid  bool
 }
 
 // BaselineConfig sizes a baseline BTB.
@@ -114,6 +117,8 @@ func NewBaseline(cfg BaselineConfig) (*Baseline, error) {
 func (b *Baseline) Name() string { return b.name }
 
 // Lookup implements TargetPredictor.
+//
+//pdede:hot
 func (b *Baseline) Lookup(pc addr.VA) Lookup {
 	set, tag := addr.IndexTag(pc, b.indexBits, TagBits)
 	b.memoPC, b.memoSet, b.memoTag, b.memoWay, b.memoOK = pc, set, tag, -1, true
@@ -130,6 +135,8 @@ func (b *Baseline) Lookup(pc addr.VA) Lookup {
 // probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
 // Update immediately follows Lookup for the same PC and re-deriving
 // otherwise. The memo is consumed either way: the caller mutates the set.
+//
+//pdede:hot
 func (b *Baseline) probe(pc addr.VA) (set, tag uint64, way int) {
 	if b.memoOK && b.memoPC == pc {
 		b.memoOK = false
@@ -151,6 +158,8 @@ func (b *Baseline) probe(pc addr.VA) (set, tag uint64, way int) {
 // Update implements TargetPredictor. Taken branches allocate or retrain
 // their entry; the confidence counter arbitrates target replacement for
 // branches with multiple observed targets (indirects).
+//
+//pdede:hot
 func (b *Baseline) Update(br isa.Branch, prior Lookup) {
 	if !br.Taken {
 		return
@@ -195,6 +204,7 @@ func (b *Baseline) Update(br isa.Branch, prior Lookup) {
 	}
 }
 
+//pdede:hot
 func (b *Baseline) victim(set uint64) int {
 	base := int(set) * b.ways
 	for w := 0; w < b.ways; w++ {

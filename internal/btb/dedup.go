@@ -101,6 +101,8 @@ func (t *DedupTable) set(v uint64) int {
 }
 
 // Find returns the pointer holding value v, if present.
+//
+//pdede:hot
 func (t *DedupTable) Find(v uint64) (int, bool) {
 	s := t.set(v)
 	base := s * t.ways
@@ -115,6 +117,8 @@ func (t *DedupTable) Find(v uint64) (int, bool) {
 // FindOrInsert locates v, allocating (possibly evicting) if absent. evicted
 // reports whether a live value was displaced — the event that creates
 // dangling monitor pointers.
+//
+//pdede:hot
 func (t *DedupTable) FindOrInsert(v uint64) (ptr int, evicted bool) {
 	s := t.set(v)
 	base := s * t.ways
@@ -150,6 +154,8 @@ func (t *DedupTable) FindOrInsert(v uint64) (ptr int, evicted bool) {
 }
 
 // Get dereferences a pointer. ok is false for a never-written slot.
+//
+//pdede:hot
 func (t *DedupTable) Get(ptr int) (uint64, bool) {
 	if ptr < 0 || ptr >= len(t.vals) || !t.valid[ptr] {
 		return 0, false

@@ -39,11 +39,13 @@ type DedupBTB struct {
 	memoOK  bool
 }
 
+// dedupEntry is field-ordered widest-first so the monitor array packs at
+// 16 bytes per entry instead of 24.
 type dedupEntry struct {
-	valid bool
 	tag   uint64
 	ptr   int32
 	conf  conf
+	valid bool
 }
 
 // DedupBTBConfig sizes the design.
@@ -114,6 +116,8 @@ func NewDedupBTB(cfg DedupBTBConfig) (*DedupBTB, error) {
 func (d *DedupBTB) Name() string { return d.name }
 
 // Lookup implements TargetPredictor.
+//
+//pdede:hot
 func (d *DedupBTB) Lookup(pc addr.VA) Lookup {
 	set, tag := addr.IndexTag(pc, d.indexBits, TagBits)
 	d.memoPC, d.memoSet, d.memoTag, d.memoWay, d.memoOK = pc, set, tag, -1, true
@@ -134,6 +138,8 @@ func (d *DedupBTB) Lookup(pc addr.VA) Lookup {
 
 // probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
 // Update immediately follows Lookup for the same PC (see Baseline.probe).
+//
+//pdede:hot
 func (d *DedupBTB) probe(pc addr.VA) (set, tag uint64, way int) {
 	if d.memoOK && d.memoPC == pc {
 		d.memoOK = false
@@ -153,6 +159,8 @@ func (d *DedupBTB) probe(pc addr.VA) (set, tag uint64, way int) {
 }
 
 // Update implements TargetPredictor.
+//
+//pdede:hot
 func (d *DedupBTB) Update(br isa.Branch, prior Lookup) {
 	if !br.Taken || br.Kind.IsReturn() {
 		return

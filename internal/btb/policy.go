@@ -117,6 +117,8 @@ type randRepl struct {
 
 func (r *randRepl) Touch(int)  {}
 func (r *randRepl) Insert(int) {}
+
+//pdede:bitwidth-ok xorshift32 generator constants, not address-field widths
 func (r *randRepl) Victim() int {
 	r.state ^= r.state << 13
 	r.state ^= r.state >> 17

@@ -6,10 +6,10 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 )
 
@@ -143,7 +143,13 @@ func LoadCheckpoint(path string, meta CheckpointMeta) (*Checkpoint, error) {
 	for name, dig := range f.Designs {
 		c.designs[name] = dig
 	}
-	for name, dig := range meta.Designs {
+	names := make([]string, 0, len(meta.Designs))
+	for name := range meta.Designs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dig := meta.Designs[name]
 		if old, ok := c.designs[name]; ok && old != dig {
 			return nil, fmt.Errorf("checkpoint %s: design %s changed configuration since the checkpoint was written (delete it to re-run)",
 				path, name)
@@ -189,9 +195,8 @@ func (c *Checkpoint) Record(app string, results map[string]*core.Result) error {
 	return c.flushLocked()
 }
 
-// flushLocked writes the full document to a temp file in the same
-// directory and renames it over path, so readers and crashed runs never
-// observe a half-written checkpoint. Callers hold c.mu.
+// flushLocked writes the full document through atomicio, so readers and
+// crashed runs never observe a half-written checkpoint. Callers hold c.mu.
 func (c *Checkpoint) flushLocked() error {
 	f := checkpointFile{
 		Version:      checkpointVersion,
@@ -212,23 +217,7 @@ func (c *Checkpoint) flushLocked() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteFile(c.path, data, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil

@@ -37,6 +37,47 @@ func PDedeDesign(name string, cfg pdede.Config) Design {
 	}}
 }
 
+// PerfectDesign builds the unbounded perfect BTB (every decoded branch
+// hits with the correct target).
+func PerfectDesign() Design {
+	return Design{Name: NamePerfect, New: func() (btb.TargetPredictor, error) {
+		return btb.NewPerfect(), nil
+	}}
+}
+
+// DiffDesigns is the differential-oracle registry: every concrete design
+// the experiments drive, including the ablation intermediates, the two
+// level hierarchy and the unbounded Perfect model. `make check-deep` runs
+// each of these in lockstep with its reference oracle; the pdede-lint
+// auditcontract analyzer cross-checks the list against the design
+// packages, so a new design that is not constructed here fails lint until
+// it is registered (or annotated //pdede:unregistered-ok).
+func DiffDesigns() []Design {
+	partitionOnly := pdede.DefaultConfig()
+	partitionOnly.DisableDelta = true
+	ds := []Design{
+		BaselineDesign(NameBaseline, 4096),
+		BaselineDesign(NameBaseline8K, 8192),
+		PDedeDesign(NamePartition, partitionOnly),
+		PDedeDesign(NamePDede, pdede.DefaultConfig()),
+		PDedeDesign(NameMultiTarget, pdede.MultiTargetConfig()),
+		PDedeDesign(NameMultiEntry, pdede.MultiEntryConfig()),
+		TwoLevelDesign("2L-pdede-me", 256, true),
+		PerfectDesign(),
+	}
+	for _, d := range AblationDesigns() {
+		if d.Name == NameDedup {
+			ds = append(ds, d)
+		}
+	}
+	for _, d := range ShotgunDesigns() {
+		if d.Name == NameShotgun {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
 // StandardDesigns returns the Figure 10 comparison set.
 func StandardDesigns() []Design {
 	return []Design{

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/isa"
@@ -40,8 +41,9 @@ func expFig1() Experiment {
 				tb.AddRow(label, fmt.Sprint(len(idx)),
 					metrics.Pct0(metrics.Mean(fe)), metrics.Pct0(metrics.Mean(share)), metrics.Pct0(metrics.Mean(all)))
 			}
-			for cat, idx := range suite.ByCategory() {
-				add(cat.String(), idx)
+			byCat := suite.ByCategory()
+			for _, cat := range sortedCategories(byCat) {
+				add(cat.String(), byCat[cat])
 			}
 			var allIdx []int
 			for i := range suite.Apps {
@@ -163,9 +165,14 @@ func expFig5() Experiment {
 						offMax = s.Offset
 					}
 				}
+				ids := make([]int, 0, len(regs))
+				for id := range regs {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
 				dom, domN := -1, 0
-				for id, n := range regs {
-					if n > domN {
+				for _, id := range ids {
+					if n := regs[id]; n > domN {
 						dom, domN = id, n
 					}
 				}

@@ -50,7 +50,9 @@ func expFig10() Experiment {
 			// 10a/b: per-category breakdown for the best design.
 			fmt.Fprintln(w, "\nPer-category (PDede-Multi Entry vs baseline):")
 			tb := metrics.NewTable("category", "apps", "IPC gain", "MPKI reduction")
-			for cat, idx := range suite.ByCategory() {
+			byCat := suite.ByCategory()
+			for _, cat := range sortedCategories(byCat) {
+				idx := byCat[cat]
 				var gains, reds []float64
 				for _, i := range idx {
 					a := suite.Apps[i]

@@ -625,8 +625,19 @@ func (s *Suite) ByCategory() map[workload.Category][]int {
 		}
 		out[s.Apps[i].App.Category] = append(out[s.Apps[i].App.Category], i)
 	}
-	for _, idx := range out {
+	for _, idx := range out { //pdede:nondet-ok each slice is sorted independently; iteration order cannot show
 		sort.Ints(idx)
 	}
 	return out
+}
+
+// sortedCategories returns a ByCategory map's keys in ascending order, so
+// per-category report sections always print in the same order.
+func sortedCategories(m map[workload.Category][]int) []workload.Category {
+	cats := make([]workload.Category, 0, len(m))
+	for c := range m {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
 }

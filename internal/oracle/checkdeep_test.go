@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/btb"
 	"repro/internal/experiments"
-	"repro/internal/pdede"
 	"repro/internal/workload"
 )
 
@@ -25,31 +24,12 @@ func checkDeepApps() int {
 	return 2
 }
 
-// checkDeepDesigns is the full registry: every design the experiments drive,
-// including the ablation intermediates and the hierarchy.
+// checkDeepDesigns is the shared diff-design registry from
+// internal/experiments: every design the experiments drive, including the
+// ablation intermediates, the hierarchy and Perfect. Keeping the list in
+// non-test code lets the pdede-lint auditcontract analyzer verify it.
 func checkDeepDesigns() []experiments.Design {
-	partitionOnly := pdede.DefaultConfig()
-	partitionOnly.DisableDelta = true
-	ds := []experiments.Design{
-		experiments.BaselineDesign(experiments.NameBaseline, 4096),
-		experiments.BaselineDesign(experiments.NameBaseline8K, 8192),
-		experiments.PDedeDesign(experiments.NamePartition, partitionOnly),
-		experiments.PDedeDesign(experiments.NamePDede, pdede.DefaultConfig()),
-		experiments.PDedeDesign(experiments.NameMultiTarget, pdede.MultiTargetConfig()),
-		experiments.PDedeDesign(experiments.NameMultiEntry, pdede.MultiEntryConfig()),
-		experiments.TwoLevelDesign("2L-pdede-me", 256, true),
-	}
-	for _, d := range experiments.AblationDesigns() {
-		if d.Name == experiments.NameDedup {
-			ds = append(ds, d)
-		}
-	}
-	for _, d := range experiments.ShotgunDesigns() {
-		if d.Name == experiments.NameShotgun {
-			ds = append(ds, d)
-		}
-	}
-	return ds
+	return experiments.DiffDesigns()
 }
 
 // TestCheckDeep is the differential sweep behind `make check-deep`: every

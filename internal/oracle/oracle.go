@@ -27,6 +27,7 @@ package oracle
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 	"repro/internal/btb"
@@ -102,8 +103,11 @@ func (r *Reference) StorageBits() uint64 { return 0 }
 func (r *Reference) Reset() { r.entries = make(map[addr.VA]*refEntry) }
 
 // Audit implements btb.Auditable: stored targets must stay 57-bit clean.
+// Keys are visited in sorted order so the first reported violation is
+// deterministic.
 func (r *Reference) Audit() error {
-	for pc, e := range r.entries {
+	for _, pc := range sortedPCs(r.entries) {
+		e := r.entries[pc]
 		if uint64(e.target)&^addr.Mask != 0 {
 			return fmt.Errorf("oracle: reference entry %v target %#x exceeds %d bits",
 				pc, uint64(e.target), addr.VABits)
@@ -113,6 +117,17 @@ func (r *Reference) Audit() error {
 		}
 	}
 	return nil
+}
+
+// sortedPCs returns a reference map's keys in ascending order, so audits
+// report the same first violation on every run.
+func sortedPCs[V any](m map[addr.VA]V) []addr.VA {
+	pcs := make([]addr.VA, 0, len(m))
+	for pc := range m {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
 }
 
 // ForDesign returns the oracle matched to a concrete design: RefPDede for

@@ -145,7 +145,8 @@ func (r *RefPDede) Reset() { r.entries = make(map[addr.VA]*refPDedeEntry) }
 // clean and decompose back into exactly the stored components, delta entries
 // must stay inside their PC's page, and the configuration gates must hold.
 func (r *RefPDede) Audit() error {
-	for pc, e := range r.entries {
+	for _, pc := range sortedPCs(r.entries) {
+		e := r.entries[pc]
 		if e.conf > 3 {
 			return fmt.Errorf("oracle: refpdede entry %v confidence %d exceeds 2 bits", pc, e.conf)
 		}

@@ -235,18 +235,20 @@ type Stats struct {
 	NTServed uint64
 }
 
+// entry is field-ordered widest-first: the Sets×Ways array dominates the
+// model's memory, and this layout packs it at 24 bytes per entry instead
+// of 32.
 type entry struct {
-	valid     bool
 	tag       uint64
-	delta     bool
-	offset    uint16
 	pagePtr   int32
 	regionPtr int32
-	conf      uint8
-	// MultiTarget: pointer fields reused for the next taken same-page
-	// branch's offset.
-	ntValid  bool
+	offset    uint16
+	// MultiTarget: the next taken same-page branch's offset (§4.3.1).
 	ntOffset uint16
+	conf     uint8
+	valid    bool
+	delta    bool
+	ntValid  bool
 }
 
 // scanInvalid marks a free way in the scanTags mirror. Real tags are
@@ -310,6 +312,8 @@ func (p *PDede) Config() Config { return p.cfg }
 func (p *PDede) narrow(w int) bool { return w >= p.halfWays }
 
 // Lookup implements btb.TargetPredictor (§4.4.1).
+//
+//pdede:hot
 func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 	set, tag := addr.IndexTag(pc, p.indexBits, btb.TagBits)
 	p.memoPC, p.memoSet, p.memoTag, p.memoWay, p.memoOK = pc, set, tag, -1, true
@@ -365,6 +369,8 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 }
 
 // Update implements btb.TargetPredictor (§4.4.2).
+//
+//pdede:hot
 func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 	if !br.Taken {
 		return
@@ -474,6 +480,8 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 // probe resolves pc's (set, tag, matched way), reusing the Lookup memo when
 // Update immediately follows Lookup for the same PC and re-deriving
 // otherwise. The memo is consumed either way: the caller mutates the set.
+//
+//pdede:hot
 func (p *PDede) probe(pc addr.VA) (set, tag uint64, way int) {
 	if p.memoOK && p.memoPC == pc {
 		p.memoOK = false
@@ -493,6 +501,8 @@ func (p *PDede) probe(pc addr.VA) (set, tag uint64, way int) {
 }
 
 // predictFrom reconstructs the target an entry currently encodes.
+//
+//pdede:hot
 func (p *PDede) predictFrom(e *entry, pc addr.VA) (addr.VA, bool) {
 	if e.delta {
 		return pc.WithOffset(uint64(e.offset)), true
@@ -517,6 +527,8 @@ func (p *PDede) allocPartition(target addr.VA) (pagePtr, regionPtr int, ok bool)
 // use any way but prefer narrow ones (keeping full ways free for branches
 // that need pointers); different-page branches are restricted to full ways
 // (§4.4.2, MultiEntry).
+//
+//pdede:hot
 func (p *PDede) victim(set uint64, samePage bool) int {
 	base := int(set) * p.cfg.Ways
 	repl := p.repl[set]

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/atomicio"
 )
 
 // WriteJSON encodes a report with stable, human-diffable formatting.
@@ -41,17 +44,14 @@ func LoadReport(path string) (*Report, error) {
 	return ReadJSON(f)
 }
 
-// SaveReport writes a report to disk.
+// SaveReport writes a report to disk atomically, so a concurrent or
+// crashed `make bench` never leaves a torn baseline behind.
 func SaveReport(path string, r *Report) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
 		return err
 	}
-	if err := WriteJSON(f, r); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // ParseTolerance accepts "8%", "8", or "0.08" forms, returning a fraction.

@@ -24,7 +24,6 @@ type TAGE struct {
 	// provider bookkeeping between Predict and Update
 	provTable int // -1 = base
 	provIdx   int
-	altPred   bool
 
 	// Per-branch scratch: Predict derives every table's index and tag (and
 	// the base prediction) exactly once; the immediately following Update for
@@ -32,10 +31,13 @@ type TAGE struct {
 	// re-hashing. Valid because the global history only shifts at the end of
 	// Update. One-shot: consumed by Update, re-derived on any PC mismatch.
 	// The per-table halves live in tageTable (scratchIdx/scratchTag).
+	// Flag bytes sit after the words so the struct carries no interior
+	// padding.
 	scratchPC  addr.VA
+	scratchMix uint64 // Mix64(pc>>1), shared with the base table's index
+	altPred    bool
 	scratchOK  bool
 	basePred   bool
-	scratchMix uint64 // Mix64(pc>>1), shared with the base table's index
 }
 
 type tageTable struct {

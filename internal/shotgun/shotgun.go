@@ -19,6 +19,7 @@ package shotgun
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 	"repro/internal/btb"
@@ -177,7 +178,13 @@ func (s *Shotgun) Audit() error {
 	if err := s.cbtb.Audit(); err != nil {
 		return fmt.Errorf("shotgun: cbtb: %w", err)
 	}
-	for blk, lst := range s.meta {
+	blks := make([]uint64, 0, len(s.meta))
+	for blk := range s.meta {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	for _, blk := range blks {
+		lst := s.meta[blk]
 		if len(lst) > s.cfg.MaxPerBlock {
 			return fmt.Errorf("shotgun: block %#x holds %d conditionals, cap is %d",
 				blk, len(lst), s.cfg.MaxPerBlock)
