@@ -20,7 +20,7 @@ FUZZTIME ?= 15s
 # Benchmark-and-regression harness (cmd/pdede-bench): BENCH_BASELINE is the
 # committed reference report, BENCH_TOLERANCE the allowed per-design
 # records/sec loss, BENCH_OUT where the fresh report lands.
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_BASELINE ?= BENCH_PR5.json
 BENCH_TOLERANCE ?= 8%
 BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 
@@ -89,8 +89,8 @@ cover:
 # Throughput benchmark: run the fixed (designs × apps × models) matrix and
 # compare against the committed baseline, failing on regressions beyond
 # BENCH_TOLERANCE. To refresh the baseline after an intentional perf change:
-#   make bench BENCH_OUT=BENCH_PR3.json BENCH_TOLERANCE=99%
-# then review and commit the new BENCH_PR3.json.
+#   make bench BENCH_OUT=BENCH_PR5.json BENCH_TOLERANCE=99%
+# then review and commit the new BENCH_PR5.json.
 bench: build
 	$(GO) run ./cmd/pdede-bench -q -o $(BENCH_OUT) -baseline $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 

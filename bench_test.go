@@ -112,7 +112,7 @@ func BenchmarkITTAGEPredictUpdate(b *testing.B) {
 	it, _ := predictor.NewITTAGE(predictor.Default64KBConfig())
 	pcs := make([]addr.VA, 256)
 	for i := range pcs {
-		pcs[i] = addr.Build(1, uint64(i), 64)
+		pcs[i] = addr.Build(1, addr.PageNum(uint64(i)), 64)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

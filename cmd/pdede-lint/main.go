@@ -1,4 +1,4 @@
-// pdede-lint is the repository's custom static-analysis suite: five
+// pdede-lint is the repository's custom static-analysis suite: eight
 // analyzers that enforce at compile time the contracts the runtime
 // verification machinery (differential oracle, deep audits, perf gate)
 // checks at run time.
@@ -12,6 +12,12 @@
 //	auditcontract every BTB design implements btb.Auditable and is
 //	              registered for the oracle sweep
 //	atomicwrite   checkpoint/report files go through atomicio
+//	statepurity   Lookup paths write only //pdede:scratch fields
+//	              (wrong-path safety, via flowkit's call graph)
+//	addrdomain    RegionID/PageNum/PageOffset/SetIndex/Tag values never
+//	              cross domains through conversions or comparisons
+//	guardedby     //pdede:guarded-by(mu) fields accessed only with the
+//	              mutex held on every CFG path (flowkit dataflow)
 //
 // Usage:
 //
@@ -29,12 +35,15 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis/addrdomain"
 	"repro/internal/analysis/atomicwrite"
 	"repro/internal/analysis/auditcontract"
 	"repro/internal/analysis/bitwidth"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/statepurity"
 )
 
 // suite is the full analyzer set, in report order.
@@ -45,6 +54,9 @@ func suite() []*lintkit.Analyzer {
 		bitwidth.Analyzer,
 		auditcontract.Analyzer,
 		atomicwrite.Analyzer,
+		statepurity.Analyzer,
+		addrdomain.Analyzer,
+		guardedby.Analyzer,
 	}
 }
 
@@ -130,7 +142,12 @@ func selectAnalyzers(only string) ([]*lintkit.Analyzer, error) {
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+			names := make([]string, len(all))
+			for i, a := range all {
+				names[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q; valid analyzers: %s",
+				name, strings.Join(names, ", "))
 		}
 		out = append(out, a)
 	}

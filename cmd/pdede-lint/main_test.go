@@ -29,6 +29,26 @@ func TestUnknownAnalyzerIsOperationalError(t *testing.T) {
 	}
 }
 
+// TestUnknownAnalyzerListsValidNames pins the error contract: a typo in
+// -run must name every valid analyzer, so the user can fix the invocation
+// without opening the source (and so a typo can never silently run an
+// empty set).
+func TestUnknownAnalyzerListsValidNames(t *testing.T) {
+	_, err := selectAnalyzers("guardedbyy")
+	if err == nil {
+		t.Fatal("selectAnalyzers accepted an unknown name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown analyzer "guardedbyy"`) {
+		t.Errorf("error does not name the bad analyzer: %q", msg)
+	}
+	for _, a := range suite() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list valid analyzer %s: %q", a.Name, msg)
+		}
+	}
+}
+
 // TestCleanTree pins the repository's own lint status: the full suite over
 // the full module must report nothing. A violation anywhere in the tree
 // fails this test the same way `make lint` does.
@@ -132,7 +152,104 @@ func Save(path string, data []byte) error {
 `,
 		},
 	},
+	{
+		// Corruption injection: a real architectural-field write seeded
+		// into a fixture copy of Baseline.Lookup.
+		name:     "statepurity",
+		analyzer: "statepurity",
+		files: map[string]string{
+			"go.mod":              "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": statepuritySeed,
+		},
+	},
+	{
+		name:     "addrdomain",
+		analyzer: "addrdomain",
+		files: map[string]string{
+			"go.mod": "module seed\n\ngo 1.22\n",
+			"internal/addr/addr.go": `package addr
+
+type (
+	RegionID   uint64
+	PageNum    uint64
+	PageOffset uint64
+	SetIndex   uint64
+	Tag        uint64
+)
+`,
+			"internal/btb/btb.go": `package btb
+
+import "seed/internal/addr"
+
+func Mix(r addr.RegionID) addr.PageNum {
+	return addr.PageNum(r)
 }
+`,
+		},
+	},
+	{
+		// Corruption injection: a lock-free read seeded into a fixture
+		// checkpoint.
+		name:     "guardedby",
+		analyzer: "guardedby",
+		files: map[string]string{
+			"go.mod":                             "module seed\n\ngo 1.22\n",
+			"internal/experiments/checkpoint.go": guardedbySeed,
+		},
+	},
+}
+
+// statepuritySeed is a fixture copy of Baseline.Lookup with the
+// architectural write left in.
+const statepuritySeed = `package btb
+
+type entry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+type Baseline struct {
+	entries []entry
+
+	//pdede:scratch
+	memoOK bool
+}
+
+func (b *Baseline) Lookup(pc uint64) (uint64, bool) {
+	set := pc % uint64(len(b.entries))
+	b.memoOK = true
+	e := &b.entries[set]
+	if e.valid && e.tag == pc {
+		e.target = pc + 4 // the corruption: a lookup rewriting an entry
+		return e.target, true
+	}
+	return 0, false
+}
+`
+
+// guardedbySeed is a fixture checkpoint whose guarded map is read without
+// the mutex.
+const guardedbySeed = `package experiments
+
+import "sync"
+
+type Checkpoint struct {
+	mu sync.Mutex
+	//pdede:guarded-by(mu)
+	done map[string]int
+}
+
+func (c *Checkpoint) Record(app string) {
+	c.mu.Lock()
+	c.done[app]++
+	c.mu.Unlock()
+}
+
+func (c *Checkpoint) Peek(app string) int {
+	return c.done[app] // the corruption: no lock on any path
+}
+`
 
 // TestSeededViolations checks, per analyzer, that a single seeded violation
 // makes the standalone tool exit 1.
@@ -183,16 +300,38 @@ func TestVettoolProtocol(t *testing.T) {
 		t.Fatalf("building pdede-lint: %v\n%s", err, out)
 	}
 
-	dirty := linttest.WriteModule(t, seedCases[0].files)
-	var stderr bytes.Buffer
-	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
-	vet.Dir = dirty
-	vet.Stderr = &stderr
-	if err := vet.Run(); err == nil {
-		t.Fatalf("go vet -vettool passed on a seeded violation\nstderr: %s", stderr.String())
+	// One seeded module per analyzer family: the syntactic suite, the
+	// call-graph dataflow pass (statepurity), and the CFG lock-set pass
+	// (guardedby, whose fixture also exercises export-data loading for the
+	// sync import).
+	dirtyRuns := []struct {
+		name    string
+		files   map[string]string
+		message string
+	}{
+		{"determinism", seedCases[0].files, "nondeterministic map iteration"},
+		{"statepurity", map[string]string{
+			"go.mod":              "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": statepuritySeed,
+		}, "writes architectural state"},
+		{"guardedby", map[string]string{
+			"go.mod":                             "module seed\n\ngo 1.22\n",
+			"internal/experiments/checkpoint.go": guardedbySeed,
+		}, "guarded by c.mu"},
 	}
-	if !strings.Contains(stderr.String(), "nondeterministic map iteration") {
-		t.Fatalf("vet stderr missing the diagnostic:\n%s", stderr.String())
+	var stderr bytes.Buffer
+	for _, dr := range dirtyRuns {
+		dirty := linttest.WriteModule(t, dr.files)
+		stderr.Reset()
+		vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		vet.Dir = dirty
+		vet.Stderr = &stderr
+		if err := vet.Run(); err == nil {
+			t.Fatalf("go vet -vettool passed on a seeded %s violation\nstderr: %s", dr.name, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), dr.message) {
+			t.Fatalf("vet stderr missing the %s diagnostic:\n%s", dr.name, stderr.String())
+		}
 	}
 
 	clean := linttest.WriteModule(t, map[string]string{
@@ -201,7 +340,7 @@ func TestVettoolProtocol(t *testing.T) {
 		"internal/core/core.go": "package core\n\nfunc Twice(x int) int { return 2 * x }\n",
 	})
 	stderr.Reset()
-	vet = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	vet.Dir = clean
 	vet.Stderr = &stderr
 	if err := vet.Run(); err != nil {

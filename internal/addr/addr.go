@@ -42,25 +42,48 @@ const (
 // values produced by this package; constructors mask them off.
 type VA uint64
 
+// The simulator juggles five distinct integer domains that would otherwise
+// all flow as raw uint64 — a region index is never a page number, a set
+// index is never a tag. Each gets a zero-cost defined type (underlying
+// uint64, no wrappers, no methods on the hot path) so cross-domain mixing
+// is a compile error where the static types meet and an `addrdomain` lint
+// finding where values are laundered through plain integers.
+type (
+	// RegionID is a 1 GiB region index: bits [RegionShift, VABits) of a VA,
+	// RegionBits (27) wide.
+	RegionID uint64
+	// PageNum is a 4 KiB page index within a region: bits
+	// [PageShift, RegionShift) of a VA, PageBits (18) wide.
+	PageNum uint64
+	// PageOffset is a byte offset within a page: bits [0, PageShift) of a
+	// VA, OffsetBits (12) wide.
+	PageOffset uint64
+	// SetIndex is a hashed set index into a set-associative structure
+	// (IndexTag's first result).
+	SetIndex uint64
+	// Tag is a restricted hashed tag (IndexTag's second result).
+	Tag uint64
+)
+
 // New returns a VA with bits above VABits cleared.
 func New(raw uint64) VA { return VA(raw & Mask) }
 
 // Build composes a virtual address from its region, page and offset
 // components. Components wider than their fields are masked.
-func Build(region, page, offset uint64) VA {
-	return VA((region&regionMask)<<RegionShift |
-		(page&pageMask)<<PageShift |
-		offset&offsetMask)
+func Build(region RegionID, page PageNum, offset PageOffset) VA {
+	return VA((uint64(region)&regionMask)<<RegionShift |
+		(uint64(page)&pageMask)<<PageShift |
+		uint64(offset)&offsetMask)
 }
 
 // Offset returns the byte offset within the 4 KiB page.
-func (v VA) Offset() uint64 { return uint64(v) & offsetMask }
+func (v VA) Offset() PageOffset { return PageOffset(uint64(v) & offsetMask) }
 
 // Page returns the page index within the address's region.
-func (v VA) Page() uint64 { return (uint64(v) >> PageShift) & pageMask }
+func (v VA) Page() PageNum { return PageNum((uint64(v) >> PageShift) & pageMask) }
 
 // Region returns the region index (top RegionBits bits).
-func (v VA) Region() uint64 { return (uint64(v) >> RegionShift) & regionMask }
+func (v VA) Region() RegionID { return RegionID((uint64(v) >> RegionShift) & regionMask) }
 
 // PageAddr returns the full page number (region and page combined), i.e. the
 // address with the offset stripped, shifted right by PageShift. Two addresses
@@ -79,8 +102,8 @@ func (v VA) SameRegion(o VA) bool { return v.Region() == o.Region() }
 // WithOffset returns v with its page offset replaced by offset. This is the
 // delta-encoding reconstruction: the region and page come from the branch PC
 // and only the offset is supplied by the BTB.
-func (v VA) WithOffset(offset uint64) VA {
-	return VA(uint64(v)&^offsetMask | offset&offsetMask)
+func (v VA) WithOffset(offset PageOffset) VA {
+	return VA(uint64(v)&^offsetMask | uint64(offset)&offsetMask)
 }
 
 // Add returns v advanced by n bytes, wrapped to the 57-bit space.

@@ -81,8 +81,8 @@ func TestWithOffset(t *testing.T) {
 	// Property: WithOffset only changes the offset.
 	f := func(raw, off uint64) bool {
 		v := New(raw)
-		w := v.WithOffset(off)
-		return w.PageAddr() == v.PageAddr() && w.Offset() == off&((1<<OffsetBits)-1)
+		w := v.WithOffset(PageOffset(off))
+		return w.PageAddr() == v.PageAddr() && uint64(w.Offset()) == off&((1<<OffsetBits)-1)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -134,7 +134,7 @@ func TestIndexTagBounds(t *testing.T) {
 
 func TestIndexTagSpreads(t *testing.T) {
 	// Sequential PCs (stride 4) should hit many distinct sets of a 512-set table.
-	seen := make(map[uint64]bool)
+	seen := make(map[SetIndex]bool)
 	for i := 0; i < 4096; i++ {
 		idx, _ := IndexTag(New(uint64(0x40_0000+4*i)), 9, 12)
 		seen[idx] = true
@@ -148,7 +148,7 @@ func TestIndexModRange(t *testing.T) {
 	for _, sets := range []int{1, 3, 512, 768} {
 		for i := 0; i < 100; i++ {
 			got := IndexMod(New(uint64(i*4096+i)), sets)
-			if got < 0 || got >= sets {
+			if got < 0 || int(got) >= sets {
 				t.Fatalf("IndexMod out of range: %d for %d sets", got, sets)
 			}
 		}

@@ -29,10 +29,10 @@ func FuzzComponentRoundTrip(f *testing.F) {
 		if Build(r, p, o) != v {
 			t.Fatalf("Build(Region, Page, Offset) = %v, want %v", Build(r, p, o), v)
 		}
-		if v.PageAddr() != r<<PageBits|p {
-			t.Fatalf("PageAddr %#x != region·page %#x", v.PageAddr(), r<<PageBits|p)
+		if v.PageAddr() != uint64(r)<<PageBits|uint64(p) {
+			t.Fatalf("PageAddr %#x != region·page %#x", v.PageAddr(), uint64(r)<<PageBits|uint64(p))
 		}
-		if got := v.WithOffset(o); got != v {
+		if got := v.WithOffset(PageOffset(o)); got != v {
 			t.Fatalf("WithOffset(own offset) = %v, want %v", got, v)
 		}
 	})
@@ -46,19 +46,19 @@ func FuzzBuildDecompose(f *testing.F) {
 	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
 	f.Add(uint64(0x7ff1eed), uint64(0x3c), uint64(0x9e4))
 	f.Fuzz(func(t *testing.T, region, page, offset uint64) {
-		v := Build(region, page, offset)
-		if v.Region() != region&(1<<RegionBits-1) {
+		v := Build(RegionID(region), PageNum(page), PageOffset(offset))
+		if v.Region() != RegionID(region&(1<<RegionBits-1)) {
 			t.Fatalf("Region = %#x, want %#x", v.Region(), region&(1<<RegionBits-1))
 		}
-		if v.Page() != page&(1<<PageBits-1) {
+		if v.Page() != PageNum(page&(1<<PageBits-1)) {
 			t.Fatalf("Page = %#x, want %#x", v.Page(), page&(1<<PageBits-1))
 		}
-		if v.Offset() != offset&(1<<OffsetBits-1) {
+		if v.Offset() != PageOffset(offset&(1<<OffsetBits-1)) {
 			t.Fatalf("Offset = %#x, want %#x", v.Offset(), offset&(1<<OffsetBits-1))
 		}
 		// Two addresses built from the same region+page are SamePage
 		// regardless of offsets.
-		w := Build(region, page, offset+1)
+		w := Build(RegionID(region), PageNum(page), PageOffset(offset+1))
 		if !v.SamePage(w) {
 			t.Fatalf("same region+page not SamePage: %v vs %v", v, w)
 		}
@@ -66,17 +66,17 @@ func FuzzBuildDecompose(f *testing.F) {
 }
 
 // FuzzWithOffset checks the delta-reconstruction primitive in isolation:
-// pc.WithOffset(o) stays in pc's page and lands on offset o&offsetMask.
+// pc.WithOffset(PageOffset(o)) stays in pc's page and lands on offset o&offsetMask.
 func FuzzWithOffset(f *testing.F) {
 	f.Add(uint64(0x12345678), uint64(0x9e4))
 	f.Add(^uint64(0), ^uint64(0))
 	f.Fuzz(func(t *testing.T, raw, offset uint64) {
 		pc := New(raw)
-		got := pc.WithOffset(offset)
+		got := pc.WithOffset(PageOffset(offset))
 		if !pc.SamePage(got) {
 			t.Fatalf("WithOffset left the page: %v -> %v", pc, got)
 		}
-		if got.Offset() != offset&(1<<OffsetBits-1) {
+		if got.Offset() != PageOffset(offset&(1<<OffsetBits-1)) {
 			t.Fatalf("WithOffset(%#x).Offset() = %#x", offset, got.Offset())
 		}
 	})

@@ -39,22 +39,22 @@ func Fold(x uint64, width uint) uint64 {
 // mix, then split. indexBits selects the set, tagBits forms the restricted
 // tag. The tag is taken from bits disjoint from the index so that two PCs in
 // the same set with equal tags are genuinely aliasing through the fold.
-func IndexTag(pc VA, indexBits, tagBits uint) (index, tag uint64) {
+func IndexTag(pc VA, indexBits, tagBits uint) (index SetIndex, tag Tag) {
 	h := Mix64(uint64(pc) >> 1)
-	index = h & ((uint64(1) << indexBits) - 1)
-	tag = Fold(h>>indexBits, tagBits)
+	index = SetIndex(h & ((uint64(1) << indexBits) - 1))
+	t := Fold(h>>indexBits, tagBits)
 	if tagBits < 64 {
-		tag &= (uint64(1) << tagBits) - 1
+		t &= (uint64(1) << tagBits) - 1
 	}
-	return index, tag
+	return index, Tag(t)
 }
 
 // IndexMod derives a set index for tables whose number of sets is not a
 // power of two (e.g. a 12-way 512-set BTBM scaled for iso-storage keeps
 // power-of-two sets, but sweep configurations may not).
-func IndexMod(pc VA, sets int) int {
+func IndexMod(pc VA, sets int) SetIndex {
 	if sets <= 0 {
 		return 0
 	}
-	return int(Mix64(uint64(pc)>>1) % uint64(sets))
+	return SetIndex(Mix64(uint64(pc)>>1) % uint64(sets))
 }

@@ -1,0 +1,182 @@
+// Package addrdomain polices the five address-integer domains the
+// partitioned BTB design juggles: addr.RegionID, addr.PageNum,
+// addr.PageOffset, addr.SetIndex and addr.Tag — all defined over uint64 and
+// therefore one careless conversion away from each other.
+//
+// The compiler already rejects *mixing* distinct defined types in an
+// expression; what it cannot reject is laundering: `addr.PageNum(region)`
+// type-checks fine and silently reinterprets a region id as a page number —
+// exactly the aliasing confusion that makes BTB reverse-engineering attacks
+// subtle. The analyzer flags:
+//
+//   - cross-domain conversions: `D2(x)` where x's type is a different
+//     domain D1 (conversions from plain integers into a domain, and from a
+//     domain out to a plain integer, are the sanctioned entry/exit points —
+//     e.g. feeding a PageNum into the generic dedup table's uint64 store);
+//   - laundered comparisons: `uint64(x) == uint64(y)` (any comparison
+//     operator) where x and y belong to different domains — both sides
+//     individually legal, the comparison meaningless.
+//
+// Scope: the design and harness packages. The addr package itself is
+// exempt — it is where the domains are defined and composed, so its bit
+// algebra legitimately crosses them.
+//
+// Escape: `//pdede:addrdomain-ok <reason>` on the offending line or the
+// line above.
+package addrdomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the addrdomain lint pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "addrdomain",
+	Doc:  "flag RegionID/PageNum/PageOffset/SetIndex/Tag values converted or compared across address domains, including through uint64 laundering",
+	Run:  run,
+}
+
+// scope lists the packages whose address arithmetic is policed. internal/addr
+// itself is deliberately absent.
+var scope = []string{
+	"internal/btb",
+	"internal/pdede",
+	"internal/multilevel",
+	"internal/shotgun",
+	"internal/core",
+	"internal/oracle",
+	"internal/experiments",
+	"internal/workload",
+	"internal/analysis",
+	"internal/predictor",
+	"internal/cache",
+}
+
+// domainNames are the defined types in internal/addr that constitute
+// domains.
+var domainNames = map[string]bool{
+	"RegionID":   true,
+	"PageNum":    true,
+	"PageOffset": true,
+	"SetIndex":   true,
+	"Tag":        true,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !pass.InScope(scope) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, f, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// domainOf returns the domain name of t ("" if t is not a domain type).
+func domainOf(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !lintkit.PathHasSuffix(obj.Pkg().Path(), "internal/addr") {
+		return ""
+	}
+	if !domainNames[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}
+
+// exprDomain returns the domain of e's type.
+func exprDomain(pass *lintkit.Pass, e ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	return domainOf(t)
+}
+
+// checkConversion flags D2(x) where x already belongs to a different
+// domain.
+func checkConversion(pass *lintkit.Pass, file *ast.File, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := domainOf(tv.Type)
+	src := exprDomain(pass, call.Args[0])
+	if dst == "" || src == "" || dst == src {
+		return
+	}
+	if pass.NodeHasDirective(file, call, "addrdomain-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"cross-domain conversion: %s value %s reinterpreted as %s",
+		src, types.ExprString(call.Args[0]), dst)
+}
+
+// comparisonOps are the operators whose laundering through uint64 is
+// flagged.
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.GTR: true,
+	token.LEQ: true, token.GEQ: true,
+}
+
+// checkComparison flags `uint64(x) OP uint64(y)` where x and y belong to
+// different domains: each conversion is individually sanctioned, but
+// comparing the results asks whether a page number equals a tag.
+func checkComparison(pass *lintkit.Pass, file *ast.File, bin *ast.BinaryExpr) {
+	if !comparisonOps[bin.Op] {
+		return
+	}
+	l := launderedDomain(pass, bin.X)
+	r := launderedDomain(pass, bin.Y)
+	if l == "" || r == "" || l == r {
+		return
+	}
+	if pass.NodeHasDirective(file, bin, "addrdomain-ok") {
+		return
+	}
+	pass.Reportf(bin.Pos(),
+		"cross-domain comparison: %s compared against %s through plain-integer conversions", l, r)
+}
+
+// launderedDomain returns the domain of x when e is a plain-integer
+// conversion `uint64(x)` (or any non-domain integer conversion) of a
+// domain-typed value.
+func launderedDomain(pass *lintkit.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return ""
+	}
+	if domainOf(tv.Type) != "" {
+		return "" // converting into a domain is the conversion check's job
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+		return ""
+	}
+	return exprDomain(pass, call.Args[0])
+}

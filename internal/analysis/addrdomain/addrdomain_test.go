@@ -1,0 +1,13 @@
+package addrdomain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/addrdomain"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestAddrdomain(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{addrdomain.Analyzer})
+}

@@ -1,0 +1,30 @@
+// Package addr mirrors the real address package's domain types. The
+// analyzer identifies domains by package-path suffix ("internal/addr") plus
+// type name, so this fixture package carries exactly the five defined
+// types.
+package addr
+
+type (
+	// RegionID is a 1 GiB region index.
+	RegionID uint64
+	// PageNum is a page index within a region.
+	PageNum uint64
+	// PageOffset is a byte offset within a page.
+	PageOffset uint64
+	// SetIndex is a hashed set index.
+	SetIndex uint64
+	// Tag is a restricted hashed tag.
+	Tag uint64
+)
+
+// VA is the address type the domains decompose.
+type VA uint64
+
+// Page extracts the page component.
+func (v VA) Page() PageNum { return PageNum(uint64(v) >> 12 & 0x3ffff) }
+
+// Region extracts the region component.
+func (v VA) Region() RegionID { return RegionID(uint64(v) >> 30) }
+
+// Offset extracts the offset component.
+func (v VA) Offset() PageOffset { return PageOffset(uint64(v) & 0xfff) }

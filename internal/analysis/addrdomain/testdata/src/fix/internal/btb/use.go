@@ -1,0 +1,58 @@
+// Package btb exercises the addrdomain rules: sanctioned plain↔domain
+// conversions pass, cross-domain conversions and laundered comparisons are
+// flagged, and the escape directive works.
+package btb
+
+import "fix/internal/addr"
+
+// store models the generic dedup table's trust boundary: plain uint64 in,
+// plain uint64 out.
+type store struct{ slots []uint64 }
+
+func (s *store) get(i int) uint64 { return s.slots[i] }
+
+// legal shows every sanctioned flow: extraction into a domain, domain out
+// to plain for generic storage, plain back into a domain at the boundary.
+func legal(v addr.VA, s *store) addr.VA {
+	page := v.Page()
+	region := v.Region()
+	s.slots[0] = uint64(page)     // domain → plain: generic store
+	s.slots[1] = uint64(region)   // domain → plain
+	rv := addr.RegionID(s.get(1)) // plain → domain: trust boundary
+	pv := addr.PageNum(s.get(0))
+	_ = rv
+	_ = pv
+	same := page == v.Page() // same-domain comparison: fine
+	_ = same
+	return v
+}
+
+// crossConversions are the laundering bugs the compiler cannot see.
+func crossConversions(v addr.VA) {
+	p := v.Page()
+	r := v.Region()
+	t := addr.Tag(42)
+
+	_ = addr.PageNum(r)    // want `RegionID value r reinterpreted as PageNum`
+	_ = addr.SetIndex(t)   // want `Tag value t reinterpreted as SetIndex`
+	_ = addr.RegionID(p)   // want `PageNum value p reinterpreted as RegionID`
+	_ = addr.PageOffset(t) // want `Tag value t reinterpreted as PageOffset`
+}
+
+// launderedComparisons sneak a cross-domain question through plain-integer
+// conversions.
+func launderedComparisons(v addr.VA) bool {
+	p := v.Page()
+	r := v.Region()
+	if uint64(p) == uint64(r) { // want `PageNum compared against RegionID`
+		return true
+	}
+	return uint64(v.Offset()) < uint64(p) // want `PageOffset compared against PageNum`
+}
+
+// escaped carries the reasoned directive: a deliberate reinterpretation,
+// e.g. reusing a page hash as a fallback set index in a degenerate config.
+func escaped(p addr.PageNum) addr.SetIndex {
+	//pdede:addrdomain-ok fixture: degenerate single-table config folds pages onto sets
+	return addr.SetIndex(p)
+}

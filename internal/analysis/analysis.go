@@ -100,9 +100,9 @@ func Characterize(r trace.Reader) (*Characterization, error) {
 	c := &Characterization{}
 	pcs := make(map[addr.VA]uint8) // bit0 seen, bit1 taken, bit2 same-page only
 	targets := make(map[addr.VA]struct{})
-	regions := make(map[uint64]struct{})
-	pages := make(map[uint64]struct{})
-	offsets := make(map[uint64]struct{})
+	regions := make(map[addr.RegionID]struct{})
+	pages := make(map[uint64]struct{}) // full PageAddr (region‖page), not a PageNum
+	offsets := make(map[addr.PageOffset]struct{})
 
 	for {
 		b, err := r.Next()

@@ -1,0 +1,174 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Call is one call site inside a function with a body in the analyzed
+// package.
+type Call struct {
+	// Expr is the call expression.
+	Expr *ast.CallExpr
+	// Pos anchors diagnostics about the call.
+	Pos token.Pos
+	// Callee is the static target: the called function or the interface
+	// method for dynamic calls. Nil for calls through function values and
+	// builtins.
+	Callee *types.Func
+	// Targets are the resolved in-package bodies this call may reach. For a
+	// static call that is the single callee body (if it lives in this
+	// package); for an interface call, every in-package concrete method
+	// implementing it (class-hierarchy analysis over the package scope).
+	// Empty when every possible target lives outside the package.
+	Targets []*types.Func
+	// Dynamic marks interface-dispatched calls.
+	Dynamic bool
+}
+
+// CallGraph is the per-package call graph: one node per function or method
+// with a body in the package, edges for every call site within those
+// bodies. Cross-package callees appear as Call.Callee without Targets —
+// per-package analysis (the vet unit model) never has their bodies.
+type CallGraph struct {
+	// Decls maps each in-package function object to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps each in-package function object to its call sites.
+	Calls map[*types.Func][]Call
+	// files maps each declaration to its enclosing file (for directives).
+	files map[*types.Func]*ast.File
+}
+
+// BuildCallGraph constructs the package's call graph from its syntax and
+// type information.
+func BuildCallGraph(files []*ast.File, pkg *types.Package, info *types.Info) *CallGraph {
+	cg := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Calls: make(map[*types.Func][]Call),
+		files: make(map[*types.Func]*ast.File),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			cg.Decls[fn] = fd
+			cg.files[fn] = f
+		}
+	}
+	// Class-hierarchy index: method name → in-package concrete methods.
+	methodsByName := make(map[string][]*types.Func)
+	for fn := range cg.Decls {
+		if fn.Type().(*types.Signature).Recv() != nil {
+			methodsByName[fn.Name()] = append(methodsByName[fn.Name()], fn)
+		}
+	}
+	for fn, fd := range cg.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c := Call{Expr: call, Pos: call.Pos()}
+			callee, dynamic := calleeOf(info, call)
+			c.Callee = callee
+			c.Dynamic = dynamic
+			if callee != nil {
+				if !dynamic {
+					if _, inPkg := cg.Decls[callee]; inPkg {
+						c.Targets = []*types.Func{callee}
+					}
+				} else {
+					// CHA: any in-package concrete type whose method set
+					// satisfies the interface may be the receiver.
+					iface := interfaceOf(callee)
+					for _, m := range methodsByName[callee.Name()] {
+						if iface == nil || implementsIface(m, iface) {
+							c.Targets = append(c.Targets, m)
+						}
+					}
+				}
+			}
+			cg.Calls[fn] = append(cg.Calls[fn], c)
+			return true
+		})
+	}
+	return cg
+}
+
+// File returns the file containing fn's declaration.
+func (cg *CallGraph) File(fn *types.Func) *ast.File { return cg.files[fn] }
+
+// Reachable returns the set of in-package functions reachable from roots
+// through the graph's resolved targets (roots included).
+func (cg *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		if _, ok := cg.Decls[fn]; !ok {
+			return
+		}
+		seen[fn] = true
+		for _, c := range cg.Calls[fn] {
+			for _, t := range c.Targets {
+				visit(t)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// calleeOf resolves the static callee of a call, reporting whether dispatch
+// is dynamic (through an interface). Function-value calls and builtins
+// yield (nil, false).
+func calleeOf(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn, false
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[fun]
+		if ok && sel.Kind() == types.MethodVal {
+			fn := sel.Obj().(*types.Func)
+			_, isIface := sel.Recv().Underlying().(*types.Interface)
+			return fn, isIface
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn, false // qualified pkg.Func
+		}
+	}
+	return nil, false
+}
+
+// interfaceOf returns the interface type declaring the method, if any.
+func interfaceOf(m *types.Func) *types.Interface {
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	iface, _ := recv.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsIface reports whether m's receiver type satisfies iface.
+func implementsIface(m *types.Func, iface *types.Interface) bool {
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return types.Implements(recv.Type(), iface) ||
+		types.Implements(types.NewPointer(recv.Type()), iface)
+}

@@ -1,0 +1,167 @@
+package flowkit
+
+import "go/ast"
+
+// Facts is a set of string-keyed dataflow facts (e.g. canonical lock names
+// like "c.mu"). A nil Facts means TOP — "everything could hold" — used for
+// blocks not yet visited so that intersection at joins starts optimistic.
+type Facts map[string]bool
+
+// clone copies f; cloning TOP stays TOP.
+func (f Facts) clone() Facts {
+	if f == nil {
+		return nil
+	}
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect returns f ∩ g, treating nil as TOP (identity).
+func (f Facts) intersect(g Facts) Facts {
+	if f == nil {
+		return g.clone()
+	}
+	if g == nil {
+		return f.clone()
+	}
+	out := make(Facts)
+	for k := range f {
+		if g[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// equal reports whether f and g hold exactly the same facts (nil only
+// equals nil).
+func (f Facts) equal(g Facts) bool {
+	if (f == nil) != (g == nil) {
+		return false
+	}
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if !g[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the fact is in the set. TOP has every fact: a block
+// unreachable from the entry keeps a nil (TOP) in-set, which deliberately
+// suppresses diagnostics in dead code.
+func (f Facts) Has(k string) bool {
+	if f == nil {
+		return true
+	}
+	return f[k]
+}
+
+// GenKill classifies one statement's effect on the fact set: facts it
+// generates (e.g. mu.Lock() ⇒ "mu" held) and facts it kills (mu.Unlock()).
+type GenKill func(ast.Stmt) (gen, kill []string)
+
+// MustHold runs a forward must-dataflow over g: a fact is in a statement's
+// in-set only if every path from the entry establishes it (intersection at
+// joins, TOP for unvisited predecessors). entry seeds the facts that hold
+// on function entry (e.g. a caller-holds-lock precondition).
+//
+// The result maps every statement in the graph to the facts that must hold
+// immediately before it executes.
+func MustHold(g *Graph, entry []string, gk GenKill) map[ast.Stmt]Facts {
+	in := make([]Facts, len(g.Blocks))  // facts at block entry; nil = TOP
+	out := make([]Facts, len(g.Blocks)) // facts at block exit; nil = TOP
+	e := make(Facts, len(entry))
+	for _, k := range entry {
+		e[k] = true
+	}
+	in[g.Entry.Index] = e
+
+	apply := func(f Facts, blk *Block) Facts {
+		cur := f.clone()
+		for _, s := range blk.Stmts {
+			gen, kill := gk(s)
+			if len(gen)+len(kill) == 0 {
+				continue
+			}
+			if cur == nil {
+				// Refine TOP to a concrete set lazily: facts born in dead
+				// code still propagate so gen/kill stays meaningful there.
+				cur = make(Facts)
+			}
+			for _, k := range kill {
+				delete(cur, k)
+			}
+			for _, k := range gen {
+				cur[k] = true
+			}
+		}
+		return cur
+	}
+
+	// Worklist iteration to fixpoint. The lattice (sets under intersection)
+	// has finite height, so this terminates.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make([]bool, len(g.Blocks))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+
+		f := in[blk.Index]
+		if blk != g.Entry {
+			f = nil // TOP
+			for _, p := range blk.Preds {
+				f = f.intersect(out[p.Index])
+			}
+			in[blk.Index] = f
+		}
+		nf := apply(f, blk)
+		if nf.equal(out[blk.Index]) && out[blk.Index] != nil {
+			continue
+		}
+		if nf.equal(out[blk.Index]) && nf == nil {
+			continue
+		}
+		out[blk.Index] = nf
+		for _, s := range blk.Succs {
+			if !inWork[s.Index] {
+				work = append(work, s)
+				inWork[s.Index] = true
+			}
+		}
+	}
+
+	// Final pass: per-statement in-sets by replaying each block.
+	res := make(map[ast.Stmt]Facts)
+	for _, blk := range g.Blocks {
+		cur := in[blk.Index].clone()
+		for _, s := range blk.Stmts {
+			res[s] = cur.clone()
+			gen, kill := gk(s)
+			if len(gen)+len(kill) == 0 {
+				continue
+			}
+			if cur == nil {
+				cur = make(Facts)
+			}
+			for _, k := range kill {
+				delete(cur, k)
+			}
+			for _, k := range gen {
+				cur[k] = true
+			}
+		}
+	}
+	return res
+}

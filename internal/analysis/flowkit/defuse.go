@@ -1,0 +1,154 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Path names a storage location as a base variable plus the chain of struct
+// fields selected from it: `p.entries[set][way].tag` has base p and fields
+// [entries, tag] (indexing steps do not change which field's storage is
+// reached). A write through any Path whose base is a receiver or parameter
+// escapes the function — that is what statepurity polices.
+type Path struct {
+	// Base is the root variable the chain starts from.
+	Base *types.Var
+	// Fields are the struct fields selected along the chain, outermost
+	// first. Empty means the base itself.
+	Fields []*types.Var
+}
+
+// ResolvePath reduces an lvalue (or pointer-to-lvalue) expression to the
+// Path it designates, looking through parens, derefs, index expressions and
+// unary &. aliases maps locals to the Paths they are known to alias (from
+// CollectAliases); it may be nil. The second result is false when the
+// expression does not resolve to a variable-rooted chain (e.g. a call
+// result, a composite literal, a global of another package).
+func ResolvePath(info *types.Info, e ast.Expr, aliases map[*types.Var]*Path) (*Path, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return ResolvePath(info, e.X, aliases)
+	case *ast.StarExpr:
+		return ResolvePath(info, e.X, aliases)
+	case *ast.UnaryExpr:
+		// &expr designates the same storage as expr.
+		return ResolvePath(info, e.X, aliases)
+	case *ast.IndexExpr:
+		// Indexing a slice/array/map reaches storage owned by the same
+		// field chain.
+		return ResolvePath(info, e.X, aliases)
+	case *ast.Ident:
+		v, ok := objVar(info, e)
+		if !ok {
+			return nil, false
+		}
+		if p, ok := aliases[v]; ok {
+			return &Path{Base: p.Base, Fields: append([]*types.Var(nil), p.Fields...)}, true
+		}
+		return &Path{Base: v}, true
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok {
+			// Qualified identifier (pkg.Var) or method expression.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+				return &Path{Base: v}, true
+			}
+			return nil, false
+		}
+		f, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		base, ok := ResolvePath(info, e.X, aliases)
+		if !ok {
+			return nil, false
+		}
+		base.Fields = append(base.Fields, f)
+		return base, true
+	}
+	return nil, false
+}
+
+func objVar(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if obj := info.Uses[id]; obj != nil {
+		v, ok := obj.(*types.Var)
+		return v, ok
+	}
+	if obj := info.Defs[id]; obj != nil {
+		v, ok := obj.(*types.Var)
+		return v, ok
+	}
+	return nil, false
+}
+
+// CollectAliases scans fn flow-insensitively for locals initialised from a
+// field chain by reference — `e := &p.entries[i]`, or a plain assignment of
+// a slice/map/pointer-typed field — and maps each such local to the Path it
+// aliases. Writes through the local are then writes to the underlying
+// field, which is how `e.target = t` in a probe loop is traced back to
+// p.entries. Chained aliases (`q := e`) resolve because the pass iterates
+// to a (tiny) fixpoint.
+func CollectAliases(fn *ast.FuncDecl, info *types.Info) map[*types.Var]*Path {
+	aliases := make(map[*types.Var]*Path)
+	if fn.Body == nil {
+		return aliases
+	}
+	record := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		v, ok := objVar(info, id)
+		if !ok {
+			return false
+		}
+		if !aliasesStorage(v.Type()) {
+			return false
+		}
+		p, ok := ResolvePath(info, rhs, aliases)
+		if !ok || p.Base == v {
+			return false
+		}
+		if old, exists := aliases[v]; exists && old.Base == p.Base && len(old.Fields) == len(p.Fields) {
+			return false
+		}
+		aliases[v] = p
+		return true
+	}
+	for changed, rounds := true, 0; changed && rounds < 4; rounds++ {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					if record(n.Lhs[i], n.Rhs[i]) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// `for _, e := range p.entries` with pointer element type
+				// aliases the field's storage.
+				if n.Value != nil {
+					if record(n.Value, n.X) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// aliasesStorage reports whether a value of type t shares storage with its
+// source: pointers, slices and maps do; scalar copies do not.
+func aliasesStorage(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{guardedby.Analyzer})
+}

@@ -1,0 +1,103 @@
+// Package experiments is a corruption-injection fixture: a miniature copy
+// of the real checkpoint with a lock-free read deliberately seeded in, so
+// the guardedby analyzer's detection is itself tested.
+package experiments
+
+import "sync"
+
+// Result stands in for core.Result.
+type Result struct{ MPKI float64 }
+
+// Checkpoint mirrors the real structure: mutex-guarded progress maps
+// shared between the driving goroutine and workers.
+type Checkpoint struct {
+	path string
+
+	mu sync.Mutex
+	//pdede:guarded-by(mu)
+	designs map[string]string
+	//pdede:guarded-by(mu)
+	done map[string]map[string]*Result
+}
+
+// NewCheckpoint is the constructor: writes before the object escapes are
+// exempt (locally allocated).
+func NewCheckpoint(path string) *Checkpoint {
+	c := &Checkpoint{
+		path:    path,
+		designs: make(map[string]string),
+		done:    make(map[string]map[string]*Result),
+	}
+	c.designs["seed"] = "d0" // fresh allocation: no lock needed yet
+	return c
+}
+
+// Done is the disciplined reader: lock, defer unlock, access.
+func (c *Checkpoint) Done(app, design string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.done[app][design]
+	return r, ok
+}
+
+// Record is the disciplined writer with an inline unlock.
+func (c *Checkpoint) Record(app, design string, r *Result) {
+	c.mu.Lock()
+	m := c.done[app]
+	if m == nil {
+		m = make(map[string]*Result)
+		c.done[app] = m
+	}
+	m[design] = r
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+// flushLocked declares the caller-holds precondition, so its accesses pass
+// without a Lock of its own.
+//
+//pdede:guarded-by(mu)
+func (c *Checkpoint) flushLocked() {
+	for app := range c.done {
+		_ = app
+	}
+	_ = len(c.designs)
+}
+
+// Peek is the seeded corruption: a read of both guarded maps with no lock
+// anywhere on the path.
+func (c *Checkpoint) Peek(app string) int {
+	n := len(c.done[app])      // want `c.done is guarded by c.mu`
+	_, ok := c.designs["seed"] // want `c.designs is guarded by c.mu`
+	if ok {
+		return n
+	}
+	return 0
+}
+
+// HalfLocked locks on only one branch: the access after the join must
+// still be flagged (must-hold intersection).
+func (c *Checkpoint) HalfLocked(lock bool) int {
+	if lock {
+		c.mu.Lock()
+	}
+	n := len(c.designs) // want `c.designs is guarded by c.mu`
+	if lock {
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// Unlocked re-reads after releasing: the kill must apply.
+func (c *Checkpoint) Unlocked() int {
+	c.mu.Lock()
+	n := len(c.designs)
+	c.mu.Unlock()
+	return n + len(c.designs) // want `c.designs is guarded by c.mu`
+}
+
+// Waived carries the reasoned escape: single-goroutine setup phase.
+func (c *Checkpoint) Waived() int {
+	//pdede:guardedby-ok fixture: called before any worker goroutine starts
+	return len(c.designs)
+}

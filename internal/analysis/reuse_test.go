@@ -52,7 +52,7 @@ func TestReuseMatchesNaive(t *testing.T) {
 		count := int(n)%120 + 8
 		pcs := make([]addr.VA, 12)
 		for i := range pcs {
-			pcs[i] = addr.Build(1, uint64(i), 0)
+			pcs[i] = addr.Build(1, addr.PageNum(uint64(i)), 0)
 		}
 		var recs []isa.Branch
 		var stream []addr.VA

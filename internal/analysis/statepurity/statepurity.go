@@ -1,0 +1,347 @@
+// Package statepurity enforces the wrong-path safety contract: a BTB
+// prediction must never mutate architectural predictor state.
+//
+// An FDIP-style decoupled frontend issues many speculative Lookups ahead of
+// commit; the ext-wrongpath experiment is only valid if those lookups leave
+// no architectural trace. The rule: every method named Lookup in a design
+// package — and everything transitively reachable from it through the
+// package's call graph — may write only fields annotated `//pdede:scratch`
+// (the probe memos and observability counters), never entries, tags,
+// refcounts or replacement state. Update, at commit, is the sole mutator.
+//
+// The check is flow-aware where it matters: writes through locals that
+// alias architectural storage (`e := &b.entries[i]; e.target = t`) are
+// traced back to the field they reach, and calls are followed through the
+// in-package call graph (with class-hierarchy resolution of interface
+// dispatch). Callees whose bodies live in other packages cannot be
+// inspected under the per-package vet model, so calls to pointer-receiver
+// or interface methods with mutating names (Update, Insert, Reset, ...) are
+// flagged at the call site; value-receiver methods cannot mutate their
+// receiver and pass freely.
+//
+// Escapes: `//pdede:statepurity-ok <reason>` on the offending line (or the
+// line above), or on a function's doc comment to exempt its whole body —
+// for deliberate prediction-side effects such as Shotgun's prefetch-driven
+// fills or a two-level BTB's L0 promotion, which model real predictors that
+// do update microarchitectural (not architectural) helper state on lookup.
+package statepurity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/flowkit"
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the statepurity lint pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "statepurity",
+	Doc:  "Lookup paths may write only //pdede:scratch fields: predictions must leave no architectural BTB state behind (wrong-path safety)",
+	Run:  run,
+}
+
+// scope is the set of design packages whose Lookup paths are policed.
+var scope = []string{
+	"internal/btb",
+	"internal/pdede",
+	"internal/multilevel",
+	"internal/shotgun",
+	"internal/oracle",
+}
+
+// mutatorNames are method names presumed to mutate their receiver when the
+// body is out of reach (other package or interface dispatch). Reads like
+// Get/Find/Len never appear here.
+var mutatorNames = map[string]bool{
+	"Update": true, "Insert": true, "Delete": true, "Remove": true,
+	"Reset": true, "Clear": true, "Push": true, "Pop": true,
+	"Put": true, "Set": true, "Store": true, "Install": true,
+	"Acquire": true, "Release": true, "Touch": true, "FindOrInsert": true,
+	"Record": true, "Train": true, "Observe": true, "Evict": true,
+	"Invalidate": true, "Promote": true, "Fill": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !pass.InScope(scope) {
+		return nil
+	}
+	scratch := scratchFields(pass)
+	cg := flowkit.BuildCallGraph(pass.Files, pass.Pkg, pass.TypesInfo)
+
+	var roots []*types.Func
+	for fn := range cg.Decls {
+		if fn.Name() == "Lookup" && fn.Type().(*types.Signature).Recv() != nil {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// Reachability closure that respects escapes: a call site (or whole
+	// function) annotated //pdede:statepurity-ok declares everything beyond
+	// it to be deliberate update-path behaviour, so its targets are not
+	// traversed.
+	reach := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reach[fn] {
+			return
+		}
+		fd, ok := cg.Decls[fn]
+		if !ok {
+			return
+		}
+		file := cg.File(fn)
+		if pass.FuncHasDirective(file, fd, "statepurity-ok") {
+			return
+		}
+		reach[fn] = true
+		for _, c := range cg.Calls[fn] {
+			if pass.NodeHasDirective(file, c.Expr, "statepurity-ok") {
+				continue
+			}
+			if c.Dynamic && c.Callee != nil && mutatorNames[c.Callee.Name()] {
+				// Flagged at the call site by checkCall; descending into
+				// class-hierarchy targets would re-report the mutation
+				// inside bodies that are legal on the Update path.
+				continue
+			}
+			for _, t := range c.Targets {
+				visit(t)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	var fns []*types.Func
+	for fn := range reach {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	for _, fn := range fns {
+		checkFunc(pass, cg, fn, scratch)
+	}
+	return nil
+}
+
+// scratchFields collects every struct field in the package annotated with
+// //pdede:scratch.
+func scratchFields(pass *lintkit.Pass) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldHasDirective(pass, f, field, "scratch") {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldHasDirective reports whether the //pdede:<name> directive appears in
+// the field's doc comment, line comment, or the line above the field.
+func fieldHasDirective(pass *lintkit.Pass, file *ast.File, field *ast.Field, name string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, lintkit.DirectivePrefix+name) {
+				return true
+			}
+		}
+	}
+	return pass.NodeHasDirective(file, field, name)
+}
+
+func checkFunc(pass *lintkit.Pass, cg *flowkit.CallGraph, fn *types.Func, scratch map[*types.Var]bool) {
+	fd := cg.Decls[fn]
+	file := cg.File(fn)
+	if pass.FuncHasDirective(file, fd, "statepurity-ok") {
+		return
+	}
+	info := pass.TypesInfo
+	aliases := flowkit.CollectAliases(fd, info)
+	state := stateVars(info, fd)
+
+	flagWrite := func(node ast.Node, p *flowkit.Path) {
+		if pass.NodeHasDirective(file, node, "statepurity-ok") {
+			return
+		}
+		pass.Reportf(node.Pos(),
+			"prediction path (%s) writes architectural state %s: only //pdede:scratch fields may be written during Lookup",
+			fn.Name(), pathString(p))
+	}
+
+	checkLHS := func(node ast.Node, lhs ast.Expr) {
+		lhsAliases := aliases
+		if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+			// Assigning to a plain local rebinds the variable — even when
+			// the local aliases architectural storage, the binding itself
+			// is function-private. Writes *through* the alias (selector,
+			// index, deref forms) still resolve via the alias map below.
+			lhsAliases = nil
+		}
+		p, ok := flowkit.ResolvePath(info, lhs, lhsAliases)
+		if !ok {
+			return
+		}
+		if len(p.Fields) == 0 {
+			// Reassigning a parameter or local is a write to the copy;
+			// package-level variables are architectural by definition.
+			if p.Base.Parent() == pass.Pkg.Scope() {
+				flagWrite(node, p)
+			}
+			return
+		}
+		if !state[p.Base] && p.Base.Parent() != pass.Pkg.Scope() {
+			return // rooted at a plain local: function-private storage
+		}
+		for _, f := range p.Fields {
+			if scratch[f] {
+				return
+			}
+		}
+		flagWrite(node, p)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkLHS(n, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(n, n.X)
+		case *ast.CallExpr:
+			checkCall(pass, cg, fn, n, aliases, scratch, state, flagWrite)
+		}
+		return true
+	})
+}
+
+// checkCall polices call sites: in-package targets are analyzed themselves;
+// out-of-reach callees are judged by receiver mutability and name.
+func checkCall(pass *lintkit.Pass, cg *flowkit.CallGraph, fn *types.Func, call *ast.CallExpr,
+	aliases map[*types.Var]*flowkit.Path, scratch map[*types.Var]bool,
+	state map[*types.Var]bool, flagWrite func(ast.Node, *flowkit.Path)) {
+
+	info := pass.TypesInfo
+	file := cg.File(fn)
+	// Builtin delete mutates its map argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+		if p, ok := flowkit.ResolvePath(info, call.Args[0], aliases); ok && len(p.Fields) > 0 && state[p.Base] {
+			for _, f := range p.Fields {
+				if scratch[f] {
+					return
+				}
+			}
+			flagWrite(call, p)
+		}
+		return
+	}
+	for _, c := range cg.Calls[fn] {
+		if c.Expr != call {
+			continue
+		}
+		if len(c.Targets) > 0 && !c.Dynamic {
+			return // static call, body in this package: analyzed directly
+		}
+		if c.Callee == nil {
+			return // function value or builtin
+		}
+		// Dynamic calls are judged by name even when class-hierarchy
+		// analysis found in-package targets: the interface may also be
+		// satisfied by types in other packages, whose bodies are out of
+		// reach under the per-package vet model.
+		sig := c.Callee.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			return // plain function call: no receiver to mutate
+		}
+		if _, isPtr := recv.Type().(*types.Pointer); !isPtr && !c.Dynamic {
+			return // value receiver cannot mutate the callee's state
+		}
+		if !mutatorNames[c.Callee.Name()] {
+			return
+		}
+		// The receiver must be state we own for the mutation to matter.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		p, ok := flowkit.ResolvePath(info, sel.X, aliases)
+		if ok {
+			if !state[p.Base] && p.Base.Parent() != pass.Pkg.Scope() {
+				return
+			}
+			for _, f := range p.Fields {
+				if scratch[f] {
+					return
+				}
+			}
+		}
+		if pass.NodeHasDirective(file, call, "statepurity-ok") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"prediction path (%s) calls mutator %s.%s whose body is outside this package: forbidden during Lookup unless //pdede:statepurity-ok",
+			fn.Name(), types.ExprString(sel.X), c.Callee.Name())
+		return
+	}
+}
+
+// stateVars returns the receiver and parameters of fd — the variables whose
+// field chains are non-local state.
+func stateVars(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	if fd.Type.Params != nil {
+		add(fd.Type.Params)
+	}
+	return out
+}
+
+// pathString renders a Path for diagnostics: "b.entries.target".
+func pathString(p *flowkit.Path) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", p.Base.Name())
+	for _, f := range p.Fields {
+		fmt.Fprintf(&b, ".%s", f.Name())
+	}
+	return b.String()
+}

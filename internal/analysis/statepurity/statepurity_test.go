@@ -1,0 +1,13 @@
+package statepurity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+	"repro/internal/analysis/statepurity"
+)
+
+func TestStatepurity(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{statepurity.Analyzer})
+}

@@ -1,0 +1,106 @@
+// Package btb is a corruption-injection fixture: a miniature copy of the
+// real Baseline with architectural-field writes deliberately seeded into
+// its Lookup path, so the statepurity analyzer's detection is itself
+// tested (the PR-2 style: prove the checker catches the corruption it
+// exists to catch).
+package btb
+
+type entry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// Baseline is the fixture design under test.
+type Baseline struct {
+	entries []entry
+	repl    []uint8
+
+	// Probe memo — transient lookup→update handoff.
+	//
+	//pdede:scratch
+	memoSet uint64
+	//pdede:scratch
+	memoOK bool
+}
+
+// Lookup carries three seeded violations: a direct entry write, a write
+// through an alias, and a replacement-state bump — plus the legal scratch
+// writes around them.
+func (b *Baseline) Lookup(pc uint64) (uint64, bool) {
+	set := pc % uint64(len(b.entries))
+	b.memoSet = set
+	b.memoOK = true
+	e := &b.entries[set]
+	if e.valid && e.tag == pc {
+		e.target = pc + 4 // want `writes architectural state b.entries.target`
+		b.repl[set]++     // want `writes architectural state b.repl`
+		return e.target, true
+	}
+	b.touch(set)
+	return 0, false
+}
+
+// touch is reachable from Lookup through the call graph, so its write is a
+// transitive violation.
+func (b *Baseline) touch(set uint64) {
+	b.entries[set].valid = false // want `writes architectural state b.entries.valid`
+}
+
+// Update is the commit path: the same writes are legal here because Update
+// is not reachable from any Lookup.
+func (b *Baseline) Update(pc, target uint64) {
+	set := pc % uint64(len(b.entries))
+	b.entries[set] = entry{tag: pc, target: target, valid: true}
+	b.repl[set] = 0
+	b.memoOK = false
+}
+
+// filter models a prefetcher design whose Lookup deliberately fills a
+// backing store through an interface — the Shotgun/TwoLevel pattern that
+// needs the escape directive.
+type filter struct {
+	backing interface {
+		Update(pc, target uint64)
+	}
+
+	//pdede:scratch
+	memoHit bool
+}
+
+func (f *filter) Lookup(pc uint64) (uint64, bool) {
+	f.memoHit = false
+	f.backing.Update(pc, pc+8) // want `calls mutator f.backing.Update`
+	return 0, false
+}
+
+// promoter shows the sanctioned form: the same interface fill under a
+// reasoned escape directive.
+type promoter struct {
+	backing interface {
+		Update(pc, target uint64)
+	}
+}
+
+func (p *promoter) Lookup(pc uint64) (uint64, bool) {
+	//pdede:statepurity-ok fixture: lookup-time fill is this design's point
+	p.backing.Update(pc, pc+8)
+	return 0, false
+}
+
+// reader proves the analyzer stays quiet on a genuinely pure Lookup: reads,
+// locals, and value-receiver method calls only.
+type reader struct {
+	entries []entry
+}
+
+func (r *reader) Lookup(pc uint64) (uint64, bool) {
+	set := pc % uint64(len(r.entries))
+	e := r.entries[set] // value copy: writes to it are function-private
+	e.target++
+	sum := uint64(0)
+	for _, x := range r.entries {
+		sum += x.target
+	}
+	return e.target + sum, e.valid
+}

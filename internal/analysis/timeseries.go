@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 
+	"repro/internal/addr"
 	"repro/internal/trace"
 )
 
@@ -17,7 +18,7 @@ type Sample struct {
 	// locality rather than raw 27-bit identifiers.
 	Region int
 	Page   int
-	Offset uint64
+	Offset addr.PageOffset
 }
 
 // TimeSeries extracts every stride-th taken-branch target from the trace,
@@ -28,7 +29,7 @@ func TimeSeries(r trace.Reader, stride int) ([]Sample, error) {
 	if stride <= 0 {
 		stride = 1
 	}
-	regionRank := make(map[uint64]int)
+	regionRank := make(map[addr.RegionID]int)
 	pageRank := make(map[uint64]int)
 	var out []Sample
 	var idx uint64

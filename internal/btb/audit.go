@@ -153,7 +153,7 @@ func (b *Baseline) StateDigest() uint64 {
 			continue
 		}
 		put(uint64(i))
-		put(e.tag)
+		put(uint64(e.tag))
 		put(uint64(e.target))
 		put(uint64(e.conf))
 	}
@@ -220,7 +220,7 @@ func (d *DedupBTB) StateDigest() uint64 {
 			continue
 		}
 		put(uint64(i))
-		put(e.tag)
+		put(uint64(e.tag))
 		put(uint64(e.ptr))
 		if v, ok := d.targets.Get(int(e.ptr)); ok {
 			put(v)

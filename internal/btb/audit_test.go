@@ -18,8 +18,8 @@ func trainDedup(t *testing.T, n int) *DedupBTB {
 	for i := 0; i < n; i++ {
 		// Distinct PCs; each target shared by exactly two PCs, keeping the
 		// dedup refcounts at 2 — live and far from the saturation point.
-		pc := addr.Build(1, uint64(i/256), uint64((i%256)*16))
-		target := addr.Build(2, uint64(i/512), uint64((i/2%256)*16))
+		pc := addr.Build(1, addr.PageNum(uint64(i/256)), addr.PageOffset(uint64((i%256)*16)))
+		target := addr.Build(2, addr.PageNum(uint64(i/512)), addr.PageOffset(uint64((i/2%256)*16)))
 		d.Update(takenBranch(pc, target), d.Lookup(pc))
 	}
 	return d

@@ -21,7 +21,7 @@ type Baseline struct {
 	entries   []baseEntry // sets × ways
 	// scanTags packs each way's tag (scanInvalid when free) into a dense
 	// array the hot Lookup/probe scans walk instead of the entry structs.
-	scanTags []uint64
+	scanTags []addr.Tag
 	repl     []replacer
 
 	// GHRP state (only when Policy == PolicyGHRP): per-set predictive
@@ -35,12 +35,19 @@ type Baseline struct {
 	// for the immediately following Update of the same PC (the BPU's
 	// probe→train sequence), which then skips the re-hash and re-scan.
 	// One-shot: every Update consumes or invalidates it, because updates
-	// mutate set contents.
-	memoPC  addr.VA
-	memoSet uint64
-	memoTag uint64
+	// mutate set contents. Scratch, not architectural: a wrong-path lookup
+	// overwriting the memo only costs the next Update a re-probe.
+	//
+	//pdede:scratch
+	memoPC addr.VA
+	//pdede:scratch
+	memoSet addr.SetIndex
+	//pdede:scratch
+	memoTag addr.Tag
+	//pdede:scratch
 	memoWay int32 // matched way, -1 on miss
-	memoOK  bool
+	//pdede:scratch
+	memoOK bool
 
 	// storeReturns mirrors §5.7: if set, returns also allocate (no RAS).
 	storeReturns bool
@@ -50,7 +57,7 @@ type Baseline struct {
 // baseline's dominant allocation, and this layout packs it at 24 bytes
 // per entry instead of 32.
 type baseEntry struct {
-	tag    uint64
+	tag    addr.Tag
 	target addr.VA
 	conf   conf
 	valid  bool
@@ -137,7 +144,7 @@ func (b *Baseline) Lookup(pc addr.VA) Lookup {
 // otherwise. The memo is consumed either way: the caller mutates the set.
 //
 //pdede:hot
-func (b *Baseline) probe(pc addr.VA) (set, tag uint64, way int) {
+func (b *Baseline) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 	if b.memoOK && b.memoPC == pc {
 		b.memoOK = false
 		return b.memoSet, b.memoTag, int(b.memoWay)
@@ -205,7 +212,7 @@ func (b *Baseline) Update(br isa.Branch, prior Lookup) {
 }
 
 //pdede:hot
-func (b *Baseline) victim(set uint64) int {
+func (b *Baseline) victim(set addr.SetIndex) int {
 	base := int(set) * b.ways
 	for w := 0; w < b.ways; w++ {
 		if !b.entries[base+w].valid {

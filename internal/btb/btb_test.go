@@ -126,12 +126,12 @@ func TestBaselineCapacityEviction(t *testing.T) {
 	b, _ := NewBaseline(BaselineConfig{Entries: 64, Ways: 4})
 	// Insert far more branches than capacity.
 	for i := 0; i < 1000; i++ {
-		pc := addr.Build(1, uint64(i), 0x10)
+		pc := addr.Build(1, addr.PageNum(uint64(i)), 0x10)
 		b.Update(takenBranch(pc, addr.Build(2, 0, 0x20)), Lookup{})
 	}
 	hits := 0
 	for i := 0; i < 1000; i++ {
-		if b.Lookup(addr.Build(1, uint64(i), 0x10)).Hit {
+		if b.Lookup(addr.Build(1, addr.PageNum(uint64(i)), 0x10)).Hit {
 			hits++
 		}
 	}
@@ -317,7 +317,7 @@ func TestDedupBTBDanglingPointer(t *testing.T) {
 	d.Update(takenBranch(pc, tgt), Lookup{})
 	// Thrash the target table.
 	for i := 0; i < 64; i++ {
-		d.Update(takenBranch(addr.Build(2, uint64(i), 0), addr.Build(4, uint64(i), 0x10)), Lookup{})
+		d.Update(takenBranch(addr.Build(2, addr.PageNum(uint64(i)), 0), addr.Build(4, addr.PageNum(uint64(i)), 0x10)), Lookup{})
 	}
 	l := d.Lookup(pc)
 	if l.Hit && l.Target == tgt {

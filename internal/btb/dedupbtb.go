@@ -26,23 +26,31 @@ type DedupBTB struct {
 	entries []dedupEntry
 	// scanTags packs each way's tag (scanInvalid when free) into a dense
 	// array the hot Lookup/probe scans walk instead of the entry structs.
-	scanTags []uint64
+	scanTags []addr.Tag
 	repl     []*SRRIP
 	targets  *DedupTable
 
 	// Probe memo, as in Baseline: Lookup's (set, tag, way) reused by the
-	// immediately following Update of the same PC. One-shot.
-	memoPC  addr.VA
-	memoSet uint64
-	memoTag uint64
+	// immediately following Update of the same PC. One-shot. Scratch, not
+	// architectural: a wrong-path lookup overwriting it only costs a
+	// re-probe.
+	//
+	//pdede:scratch
+	memoPC addr.VA
+	//pdede:scratch
+	memoSet addr.SetIndex
+	//pdede:scratch
+	memoTag addr.Tag
+	//pdede:scratch
 	memoWay int32
-	memoOK  bool
+	//pdede:scratch
+	memoOK bool
 }
 
 // dedupEntry is field-ordered widest-first so the monitor array packs at
 // 16 bytes per entry instead of 24.
 type dedupEntry struct {
-	tag   uint64
+	tag   addr.Tag
 	ptr   int32
 	conf  conf
 	valid bool
@@ -140,7 +148,7 @@ func (d *DedupBTB) Lookup(pc addr.VA) Lookup {
 // Update immediately follows Lookup for the same PC (see Baseline.probe).
 //
 //pdede:hot
-func (d *DedupBTB) probe(pc addr.VA) (set, tag uint64, way int) {
+func (d *DedupBTB) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 	if d.memoOK && d.memoPC == pc {
 		d.memoOK = false
 		return d.memoSet, d.memoTag, int(d.memoWay)

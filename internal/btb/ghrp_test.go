@@ -17,13 +17,13 @@ func TestGHRPConstructsAndRetains(t *testing.T) {
 	}
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 100; i++ {
-			pc := addr.Build(1, uint64(i), 64)
-			b.Update(takenBranch(pc, addr.Build(2, uint64(i), 0)), Lookup{})
+			pc := addr.Build(1, addr.PageNum(uint64(i)), 64)
+			b.Update(takenBranch(pc, addr.Build(2, addr.PageNum(uint64(i)), 0)), Lookup{})
 		}
 	}
 	hits := 0
 	for i := 0; i < 100; i++ {
-		if b.Lookup(addr.Build(1, uint64(i), 64)).Hit {
+		if b.Lookup(addr.Build(1, addr.PageNum(uint64(i)), 64)).Hit {
 			hits++
 		}
 	}
@@ -51,7 +51,7 @@ func TestGHRPScanResistance(t *testing.T) {
 		b, _ := NewBaseline(BaselineConfig{Entries: 8, Ways: 8, Policy: pol})
 		hot := make([]addr.VA, 4)
 		for i := range hot {
-			hot[i] = addr.Build(1, uint64(i), 0)
+			hot[i] = addr.Build(1, addr.PageNum(uint64(i)), 0)
 		}
 		r := rng.New(5)
 		// Interleave hot reuse with one-shot scan branches so the tables see
@@ -60,7 +60,7 @@ func TestGHRPScanResistance(t *testing.T) {
 			for _, pc := range hot {
 				b.Update(takenBranch(pc, addr.Build(2, 0, 0)), Lookup{})
 			}
-			scan := addr.Build(3, uint64(r.Intn(1<<16)), 0)
+			scan := addr.Build(3, addr.PageNum(uint64(r.Intn(1<<16))), 0)
 			b.Update(takenBranch(scan, addr.Build(2, 0, 0)), Lookup{})
 		}
 		hits := 0

@@ -67,13 +67,13 @@ func TestBaselinePolicies(t *testing.T) {
 		// Basic retention under a fitting working set.
 		for round := 0; round < 3; round++ {
 			for i := 0; i < 100; i++ {
-				pc := addr.Build(1, uint64(i), 64)
-				b.Update(takenBranch(pc, addr.Build(2, uint64(i), 0)), Lookup{})
+				pc := addr.Build(1, addr.PageNum(uint64(i)), 64)
+				b.Update(takenBranch(pc, addr.Build(2, addr.PageNum(uint64(i)), 0)), Lookup{})
 			}
 		}
 		hits := 0
 		for i := 0; i < 100; i++ {
-			if b.Lookup(addr.Build(1, uint64(i), 64)).Hit {
+			if b.Lookup(addr.Build(1, addr.PageNum(uint64(i)), 64)).Hit {
 				hits++
 			}
 		}
@@ -95,7 +95,7 @@ func TestScanResistanceDiffers(t *testing.T) {
 		// Hot set of 4, touched often.
 		hot := make([]addr.VA, 4)
 		for i := range hot {
-			hot[i] = addr.Build(1, uint64(i), 0)
+			hot[i] = addr.Build(1, addr.PageNum(uint64(i)), 0)
 		}
 		for r := 0; r < 8; r++ {
 			for _, pc := range hot {
@@ -104,7 +104,7 @@ func TestScanResistanceDiffers(t *testing.T) {
 		}
 		// One long scan.
 		for i := 0; i < 64; i++ {
-			b.Update(takenBranch(addr.Build(3, uint64(i), 0), addr.Build(2, 0, 0)), Lookup{})
+			b.Update(takenBranch(addr.Build(3, addr.PageNum(uint64(i)), 0), addr.Build(2, 0, 0)), Lookup{})
 		}
 		hits := 0
 		for _, pc := range hot {

@@ -1,16 +1,18 @@
 package btb
 
+import "repro/internal/addr"
+
 // Packed tag-scan mirrors. The hot set scan in Lookup/probe walks a dense
-// []uint64 of tags (8 bytes per way) instead of the full entry structs,
+// []addr.Tag of tags (8 bytes per way) instead of the full entry structs,
 // with invalid ways holding an impossible sentinel so the scan needs no
 // separate valid check. Tags are TagBits (12) wide, so all-ones never
 // collides with a real tag. Writers keep the mirror in sync at every entry
 // (in)validation; the audits cross-check it.
-const scanInvalid = ^uint64(0)
+const scanInvalid = addr.Tag(^uint64(0))
 
 // newScanTags allocates a mirror of n ways, all invalid.
-func newScanTags(n int) []uint64 {
-	s := make([]uint64, n)
+func newScanTags(n int) []addr.Tag {
+	s := make([]addr.Tag, n)
 	for i := range s {
 		s[i] = scanInvalid
 	}

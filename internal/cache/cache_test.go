@@ -18,7 +18,7 @@ func TestBasicHitMiss(t *testing.T) {
 	if !c.Access(a) {
 		t.Error("second access missed")
 	}
-	if !c.Access(a.Add(63 - a.Offset()%64)) {
+	if !c.Access(a.Add(63 - uint64(a.Offset())%64)) {
 		t.Error("same-line access missed")
 	}
 }

@@ -98,9 +98,15 @@ type Checkpoint struct {
 	path string
 	meta CheckpointMeta
 
-	mu      sync.Mutex
-	designs map[string]string                  // design → digest, across runs
-	done    map[string]map[string]*core.Result // app → design → result
+	mu sync.Mutex
+	// designs maps design name → config digest, across runs.
+	//
+	//pdede:guarded-by(mu)
+	designs map[string]string
+	// done maps app → design → result; Record and Done race from workers.
+	//
+	//pdede:guarded-by(mu)
+	done map[string]map[string]*core.Result
 }
 
 // LoadCheckpoint opens (or initializes) the checkpoint at path for the
@@ -196,7 +202,9 @@ func (c *Checkpoint) Record(app string, results map[string]*core.Result) error {
 }
 
 // flushLocked writes the full document through atomicio, so readers and
-// crashed runs never observe a half-written checkpoint. Callers hold c.mu.
+// crashed runs never observe a half-written checkpoint.
+//
+//pdede:guarded-by(mu)
 func (c *Checkpoint) flushLocked() error {
 	f := checkpointFile{
 		Version:      checkpointVersion,

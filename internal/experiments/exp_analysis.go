@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/addr"
 	"repro/internal/analysis"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -152,7 +153,7 @@ func expFig5() Experiment {
 			for b := 0; b < buckets; b++ {
 				regs := map[int]int{}
 				pages := map[int]bool{}
-				var offMin, offMax uint64 = ^uint64(0), 0
+				var offMin, offMax addr.PageOffset = ^addr.PageOffset(0), 0
 				for _, s := range samples[b*per : (b+1)*per] {
 					regs[s.Region]++
 					pages[s.Page] = true

@@ -273,8 +273,12 @@ type Runner struct {
 
 	ctx context.Context // base context for Run; nil = Background
 
-	mu       sync.Mutex
-	failures []error // accumulated across Run/CharacterizeSuite calls
+	mu sync.Mutex
+	// failures accumulates across Run/CharacterizeSuite calls; worker
+	// goroutines append concurrently via noteFailures.
+	//
+	//pdede:guarded-by(mu)
+	failures []error
 }
 
 // NewRunner builds a runner with normalized options.

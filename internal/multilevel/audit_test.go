@@ -13,8 +13,8 @@ import (
 func TestAuditCleanAfterTraining(t *testing.T) {
 	tl := mk(t, 256)
 	for i := 0; i < 4000; i++ {
-		pc := addr.Build(1, uint64(i/256), uint64((i%256)*16))
-		tl.Update(taken(pc, addr.Build(4, uint64(i/2), 0x40)), tl.Lookup(pc))
+		pc := addr.Build(1, addr.PageNum(uint64(i/256)), addr.PageOffset(uint64((i%256)*16)))
+		tl.Update(taken(pc, addr.Build(4, addr.PageNum(uint64(i/2)), 0x40)), tl.Lookup(pc))
 	}
 	if err := tl.Audit(); err != nil {
 		t.Fatalf("audit of a healthy hierarchy failed: %v", err)

@@ -50,6 +50,10 @@ func (t *TwoLevel) Lookup(pc addr.VA) btb.Lookup {
 	l1.ExtraLatency++
 	// Promote: fill L0 with the L1 prediction (modelled as a taken direct
 	// branch — L0 stores raw PC→target pairs regardless of kind).
+	// The L0 is a microarchitectural cache of the architectural L1
+	// (§5.5), so this lookup-time fill is the filter hierarchy's defining,
+	// deliberate behaviour.
+	//pdede:statepurity-ok L0 promotion on L1 hit is the modelled design
 	t.l0.Update(isa.Branch{
 		PC:       pc,
 		Target:   l1.Target,

@@ -55,9 +55,9 @@ func TestL1HitCostsCycleAndPromotes(t *testing.T) {
 	// Fill L0 far beyond capacity so early PCs fall out of L0 but stay in L1.
 	var pcs []addr.VA
 	for i := 0; i < 600; i++ {
-		pc := addr.Build(1, uint64(i), 0x10)
+		pc := addr.Build(1, addr.PageNum(uint64(i)), 0x10)
 		pcs = append(pcs, pc)
-		tl.Update(taken(pc, addr.Build(2, uint64(i), 0x20)), btb.Lookup{})
+		tl.Update(taken(pc, addr.Build(2, addr.PageNum(uint64(i)), 0x20)), btb.Lookup{})
 	}
 	// Find a PC that misses L0 but hits L1.
 	var found bool
@@ -96,7 +96,7 @@ func TestPDedeAsL1(t *testing.T) {
 	tl.Update(taken(pc, tgt), btb.Lookup{})
 	// Evict from L0.
 	for i := 0; i < 400; i++ {
-		tl.Update(taken(addr.Build(1, uint64(i), 0), addr.Build(2, 0, 0x40)), btb.Lookup{})
+		tl.Update(taken(addr.Build(1, addr.PageNum(uint64(i)), 0), addr.Build(2, 0, 0x40)), btb.Lookup{})
 	}
 	if tl.l0.Lookup(pc).Hit {
 		t.Skip("pc unexpectedly still in L0")

@@ -194,18 +194,18 @@ func (r *Report) record(d Divergence, maxSamples int) {
 type knowledge struct {
 	perPC   map[addr.VA]map[addr.VA]struct{} // taken targets per branch PC
 	targets map[addr.VA]struct{}             // all taken targets
-	offsets map[uint64]struct{}              // offsets of all taken targets
-	pages   map[uint64]struct{}              // page components of all taken targets
-	regions map[uint64]struct{}              // region components of all taken targets
+	offsets map[addr.PageOffset]struct{}     // offsets of all taken targets
+	pages   map[addr.PageNum]struct{}        // page components of all taken targets
+	regions map[addr.RegionID]struct{}       // region components of all taken targets
 }
 
 func newKnowledge() *knowledge {
 	return &knowledge{
 		perPC:   make(map[addr.VA]map[addr.VA]struct{}),
 		targets: make(map[addr.VA]struct{}),
-		offsets: make(map[uint64]struct{}),
-		pages:   make(map[uint64]struct{}),
-		regions: make(map[uint64]struct{}),
+		offsets: make(map[addr.PageOffset]struct{}),
+		pages:   make(map[addr.PageNum]struct{}),
+		regions: make(map[addr.RegionID]struct{}),
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 // every SamePage/delta decision — the transformation the partitioned design
 // is supposed to be indifferent to, up to hashing.
 func relabelRegion(v addr.VA, key uint64) addr.VA {
-	return addr.Build(v.Region()^key, v.Page(), v.Offset())
+	return addr.Build(v.Region()^addr.RegionID(key), addr.PageNum(v.Page()), addr.PageOffset(v.Offset()))
 }
 
 func relabelTrace(src *trace.Memory, key uint64) *trace.Memory {

@@ -140,8 +140,8 @@ func TestDiffClassifiesCapacityAndStale(t *testing.T) {
 	var recs []isa.Branch
 	for round := 0; round < 4; round++ {
 		for i := 0; i < 256; i++ {
-			pc := addr.Build(1, uint64(i), 0x10)
-			recs = append(recs, taken(pc, addr.Build(2, uint64(i), 0x40)))
+			pc := addr.Build(1, addr.PageNum(uint64(i)), 0x10)
+			recs = append(recs, taken(pc, addr.Build(2, addr.PageNum(uint64(i)), 0x40)))
 		}
 	}
 	src := &trace.Memory{TraceName: "thrash", Records: recs}
@@ -160,8 +160,8 @@ func TestDiffClassifiesCapacityAndStale(t *testing.T) {
 func TestDiffAuditFailureStopsRun(t *testing.T) {
 	var recs []isa.Branch
 	for i := 0; i < 10_000; i++ {
-		pc := addr.Build(1, uint64(i%512), uint64((i%256)*16))
-		recs = append(recs, taken(pc, addr.Build(2, uint64(i%512), 0x40)))
+		pc := addr.Build(1, addr.PageNum(uint64(i%512)), addr.PageOffset(uint64((i%256)*16)))
+		recs = append(recs, taken(pc, addr.Build(2, addr.PageNum(uint64(i%512)), 0x40)))
 	}
 	src := &trace.Memory{TraceName: "audit-stop", Records: recs}
 	rep, err := Diff(context.Background(), auditFailer{}, NewReference(false), src, Options{AuditEvery: 1024})

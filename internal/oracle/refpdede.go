@@ -29,8 +29,8 @@ type refPDedeEntry struct {
 	// real design reaches through the Page-BTB and Region-BTB.
 	delta  bool
 	offset uint16
-	page   uint64
-	region uint64
+	page   addr.PageNum
+	region addr.RegionID
 	conf   uint8
 }
 
@@ -49,9 +49,9 @@ func (r *RefPDede) Name() string { return "oracle-refpdede" }
 
 func (e *refPDedeEntry) reconstruct(pc addr.VA) addr.VA {
 	if e.delta {
-		return pc.WithOffset(uint64(e.offset))
+		return pc.WithOffset(addr.PageOffset(e.offset))
 	}
-	return addr.Build(e.region, e.page, uint64(e.offset))
+	return addr.Build(e.region, e.page, addr.PageOffset(e.offset))
 }
 
 // Lookup implements btb.TargetPredictor. Pointer-path entries report the
@@ -114,8 +114,8 @@ func newRefPDedeEntry(target addr.VA, samePage bool) *refPDedeEntry {
 // reachable from pointer-path entries — the contents an unbounded Page-BTB
 // would hold. The real design's bounded, incrementally-maintained table must
 // always store a subset of this census.
-func (r *RefPDede) PageCensus() map[uint64]int {
-	census := make(map[uint64]int)
+func (r *RefPDede) PageCensus() map[addr.PageNum]int {
+	census := make(map[addr.PageNum]int)
 	for _, e := range r.entries {
 		if !e.delta {
 			census[e.page]++
@@ -125,8 +125,8 @@ func (r *RefPDede) PageCensus() map[uint64]int {
 }
 
 // RegionCensus is PageCensus for the region partition.
-func (r *RefPDede) RegionCensus() map[uint64]int {
-	census := make(map[uint64]int)
+func (r *RefPDede) RegionCensus() map[addr.RegionID]int {
+	census := make(map[addr.RegionID]int)
 	for _, e := range r.entries {
 		if !e.delta {
 			census[e.region]++

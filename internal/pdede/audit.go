@@ -115,7 +115,7 @@ func (p *PDede) StateDigest() uint64 {
 			continue
 		}
 		put(uint64(i))
-		put(e.tag)
+		put(uint64(e.tag))
 		put(uint64(e.offset))
 		if e.delta {
 			put(1)

@@ -12,12 +12,12 @@ func trainMixed(t *testing.T, cfg Config, n int) *PDede {
 	t.Helper()
 	p := mustNew(t, cfg)
 	for i := 0; i < n; i++ {
-		pc := addr.Build(3, uint64(i/256), uint64((i%256)*16))
+		pc := addr.Build(3, addr.PageNum(uint64(i/256)), addr.PageOffset(uint64((i%256)*16)))
 		var tgt addr.VA
 		if i%2 == 0 {
-			tgt = pc.WithOffset(uint64((i * 48) & 0xfff))
+			tgt = pc.WithOffset(addr.PageOffset(uint64((i * 48) & 0xfff)))
 		} else {
-			tgt = addr.Build(7, uint64(i/64), uint64((i%64)*64))
+			tgt = addr.Build(7, addr.PageNum(uint64(i/64)), addr.PageOffset(uint64((i%64)*64)))
 		}
 		p.Update(taken(pc, tgt), p.Lookup(pc))
 	}

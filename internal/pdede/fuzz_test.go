@@ -36,7 +36,7 @@ func FuzzDelta(f *testing.F) {
 		pc := addr.New(pcRaw)
 		var tgt addr.VA
 		if samePage {
-			tgt = pc.WithOffset(tgtRaw)
+			tgt = pc.WithOffset(addr.PageOffset(tgtRaw))
 		} else {
 			tgt = addr.New(tgtRaw)
 		}

@@ -17,7 +17,7 @@ func TestNTRingDepthTwo(t *testing.T) {
 	pcA := addr.Build(5, 9, 0x100)
 	pcB := addr.Build(5, 9, 0x180)
 	pcC := addr.Build(5, 9, 0x240)
-	tgt := func(pc addr.VA, off uint64) addr.VA { return pc.WithOffset(off) }
+	tgt := func(pc addr.VA, off uint64) addr.VA { return pc.WithOffset(addr.PageOffset(off)) }
 
 	// Train A, B, C in sequence (all same-page).
 	p.Update(taken(pcA, tgt(pcA, 0x300)), btb.Lookup{})

@@ -148,8 +148,8 @@ func nextPow2(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
-func newScanTags(n int) []uint64 {
-	st := make([]uint64, n)
+func newScanTags(n int) []addr.Tag {
+	st := make([]addr.Tag, n)
 	for i := range st {
 		st[i] = scanInvalid
 	}
@@ -191,7 +191,7 @@ type PDede struct {
 	// — the tag for live entries, scanInvalid for free ones — so the hot way
 	// scans touch 8 bytes per way instead of a 40-byte struct. Kept in sync
 	// at every entry (in)validation; Audit cross-checks the mirror.
-	scanTags []uint64
+	scanTags []addr.Tag
 	repl     []*btb.SRRIP
 
 	pages   *btb.DedupTable
@@ -199,8 +199,13 @@ type PDede struct {
 
 	// Next Target Offset register (MultiTarget, §4.3.1): armed by a hit on
 	// an entry with the NT bit, serves exactly the next lookup if it
-	// misses.
-	ntArmed  bool
+	// misses. Scratch by definition: the register is a one-lookup-deep
+	// prediction pipeline latch, re-armed on every Lookup, never part of
+	// the committed BTB image (StateDigest ignores it).
+	//
+	//pdede:scratch
+	ntArmed bool
+	//pdede:scratch
 	ntOffset uint16
 
 	// Last BTBM set/way register ring (MultiTarget allocation path).
@@ -213,14 +218,25 @@ type PDede struct {
 	// way for the immediately following Update of the same PC, hoisting the
 	// addr decomposition and way scan out of the BTBM probe→train sequence.
 	// One-shot: every Update consumes or invalidates it (updates mutate the
-	// set).
-	memoPC  addr.VA
-	memoSet uint64
-	memoTag uint64
+	// set). Scratch: a wrong-path lookup clobbering it only costs a
+	// re-probe.
+	//
+	//pdede:scratch
+	memoPC addr.VA
+	//pdede:scratch
+	memoSet addr.SetIndex
+	//pdede:scratch
+	memoTag addr.Tag
+	//pdede:scratch
 	memoWay int32 // matched way, -1 on miss
-	memoOK  bool
+	//pdede:scratch
+	memoOK bool
 
 	// Stats accumulates design-internal event counts since Reset.
+	// Observability counters, not predictor state: excluded from
+	// StateDigest and free for the prediction path to bump.
+	//
+	//pdede:scratch
 	Stats Stats
 }
 
@@ -239,7 +255,7 @@ type Stats struct {
 // model's memory, and this layout packs it at 24 bytes per entry instead
 // of 32.
 type entry struct {
-	tag       uint64
+	tag       addr.Tag
 	pagePtr   int32
 	regionPtr int32
 	offset    uint16
@@ -253,7 +269,7 @@ type entry struct {
 
 // scanInvalid marks a free way in the scanTags mirror. Real tags are
 // btb.TagBits (12) wide, so no live entry can carry it.
-const scanInvalid = ^uint64(0)
+const scanInvalid = addr.Tag(^uint64(0))
 
 // New builds a PDede BTB.
 func New(cfg Config) (*PDede, error) {
@@ -334,7 +350,7 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 		if e.delta {
 			// Same-page: concatenate the PC's page with the stored offset;
 			// no Page/Region access, no extra cycle.
-			result = btb.Lookup{Hit: true, Target: pc.WithOffset(uint64(e.offset))}
+			result = btb.Lookup{Hit: true, Target: pc.WithOffset(addr.PageOffset(e.offset))}
 			if e.ntValid {
 				armNext, armOffset = true, e.ntOffset
 			}
@@ -344,7 +360,7 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 			if okP && okR {
 				result = btb.Lookup{
 					Hit:          true,
-					Target:       addr.Build(rv, pv, uint64(e.offset)),
+					Target:       addr.Build(addr.RegionID(rv), addr.PageNum(pv), addr.PageOffset(e.offset)),
 					ExtraLatency: 1,
 				}
 			}
@@ -356,7 +372,7 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 		// BTBM miss served from the Next Target Offset register: the next
 		// taken branch after the arming entry shares its page, so the
 		// missing PC's own page completes the target.
-		result = btb.Lookup{Hit: true, Target: pc.WithOffset(uint64(p.ntOffset))}
+		result = btb.Lookup{Hit: true, Target: pc.WithOffset(addr.PageOffset(p.ntOffset))}
 		p.Stats.NTServed++
 	}
 	// The register serves exactly the lookup following the arming hit.
@@ -482,7 +498,7 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 // otherwise. The memo is consumed either way: the caller mutates the set.
 //
 //pdede:hot
-func (p *PDede) probe(pc addr.VA) (set, tag uint64, way int) {
+func (p *PDede) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 	if p.memoOK && p.memoPC == pc {
 		p.memoOK = false
 		return p.memoSet, p.memoTag, int(p.memoWay)
@@ -505,21 +521,21 @@ func (p *PDede) probe(pc addr.VA) (set, tag uint64, way int) {
 //pdede:hot
 func (p *PDede) predictFrom(e *entry, pc addr.VA) (addr.VA, bool) {
 	if e.delta {
-		return pc.WithOffset(uint64(e.offset)), true
+		return pc.WithOffset(addr.PageOffset(e.offset)), true
 	}
 	pv, okP := p.pages.Get(int(e.pagePtr))
 	rv, okR := p.regions.Get(int(e.regionPtr))
 	if !okP || !okR {
 		return 0, false
 	}
-	return addr.Build(rv, pv, uint64(e.offset)), true
+	return addr.Build(addr.RegionID(rv), addr.PageNum(pv), addr.PageOffset(e.offset)), true
 }
 
 // allocPartition ensures the target's page and region components exist in
 // the dedup tables, returning their pointers.
 func (p *PDede) allocPartition(target addr.VA) (pagePtr, regionPtr int, ok bool) {
-	pp, _ := p.pages.FindOrInsert(target.Page())
-	rp, _ := p.regions.FindOrInsert(target.Region())
+	pp, _ := p.pages.FindOrInsert(uint64(target.Page()))
+	rp, _ := p.regions.FindOrInsert(uint64(target.Region()))
 	return pp, rp, true
 }
 
@@ -529,7 +545,7 @@ func (p *PDede) allocPartition(target addr.VA) (pagePtr, regionPtr int, ok bool)
 // (§4.4.2, MultiEntry).
 //
 //pdede:hot
-func (p *PDede) victim(set uint64, samePage bool) int {
+func (p *PDede) victim(set addr.SetIndex, samePage bool) int {
 	base := int(set) * p.cfg.Ways
 	repl := p.repl[set]
 	if samePage {
@@ -551,7 +567,7 @@ func (p *PDede) victim(set uint64, samePage bool) int {
 // noteMultiTarget maintains the Last BTBM set/way register ring and plants
 // the next-target offset into ringed same-page predecessors (§4.3.1; ring
 // depth > 1 is the paper's future-work extension).
-func (p *PDede) noteMultiTarget(br isa.Branch, set uint64, way int, samePage bool) {
+func (p *PDede) noteMultiTarget(br isa.Branch, set addr.SetIndex, way int, samePage bool) {
 	if p.cfg.Variant != MultiTarget {
 		return
 	}

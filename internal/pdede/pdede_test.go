@@ -101,8 +101,8 @@ func TestPageRegionDeduplication(t *testing.T) {
 	p := mustNew(t, DefaultConfig())
 	// Many branches, all targeting the same page.
 	for i := 0; i < 64; i++ {
-		pc := addr.Build(5, uint64(10+i), 0x80)
-		tgt := addr.Build(7, 33, uint64(i*16))
+		pc := addr.Build(5, addr.PageNum(uint64(10+i)), 0x80)
+		tgt := addr.Build(7, 33, addr.PageOffset(uint64(i*16)))
 		p.Update(taken(pc, tgt), btb.Lookup{})
 	}
 	// Exactly one page entry and one region entry must be live.
@@ -123,8 +123,8 @@ func TestPageRegionDeduplication(t *testing.T) {
 	}
 	// And all 64 branches still predict correctly through the shared entry.
 	for i := 0; i < 64; i++ {
-		pc := addr.Build(5, uint64(10+i), 0x80)
-		want := addr.Build(7, 33, uint64(i*16))
+		pc := addr.Build(5, addr.PageNum(uint64(10+i)), 0x80)
+		want := addr.Build(7, 33, addr.PageOffset(uint64(i*16)))
 		if l := p.Lookup(pc); !l.Hit || l.Target != want {
 			t.Fatalf("branch %d lost its target: %+v", i, l)
 		}
@@ -141,7 +141,7 @@ func TestStalePointerGivesWrongTargetNotCrash(t *testing.T) {
 	p.Update(taken(pc, tgt), btb.Lookup{})
 	// Thrash the tiny page table with other pages.
 	for i := 0; i < 32; i++ {
-		p.Update(taken(addr.Build(6, uint64(i), 0), addr.Build(8, uint64(100+i), 0x10)), btb.Lookup{})
+		p.Update(taken(addr.Build(6, addr.PageNum(uint64(i)), 0), addr.Build(8, addr.PageNum(uint64(100+i)), 0x10)), btb.Lookup{})
 	}
 	l := p.Lookup(pc)
 	if l.Hit && l.Target == tgt {
@@ -177,7 +177,7 @@ func TestMultiTargetNextTargetRegister(t *testing.T) {
 	if !l.Hit {
 		t.Fatal("NT register did not serve the following miss")
 	}
-	if want := pcNew.WithOffset(tgtB.Offset()); l.Target != want {
+	if want := pcNew.WithOffset(addr.PageOffset(tgtB.Offset())); l.Target != want {
 		t.Errorf("NT target = %v, want %v", l.Target, want)
 	}
 
@@ -220,8 +220,8 @@ func TestMultiEntryNarrowWaysRejectDifferentPage(t *testing.T) {
 
 	// Fill with different-page branches: only the 4 full ways may hold them.
 	for i := 0; i < 16; i++ {
-		pc := addr.Build(5, uint64(i), 0x80)
-		p.Update(taken(pc, addr.Build(7, uint64(100+i), 0x10)), btb.Lookup{})
+		pc := addr.Build(5, addr.PageNum(uint64(i)), 0x80)
+		p.Update(taken(pc, addr.Build(7, addr.PageNum(uint64(100+i)), 0x10)), btb.Lookup{})
 	}
 	fullLive, narrowLive := 0, 0
 	for w := 0; w < 8; w++ {
@@ -242,7 +242,7 @@ func TestMultiEntryNarrowWaysRejectDifferentPage(t *testing.T) {
 
 	// Same-page branches may fill the narrow ways.
 	for i := 0; i < 8; i++ {
-		pc := addr.Build(6, uint64(i), 0x80)
+		pc := addr.Build(6, addr.PageNum(uint64(i)), 0x80)
 		p.Update(taken(pc, pc.WithOffset(0x10)), btb.Lookup{})
 	}
 	narrowLive = 0
@@ -286,15 +286,15 @@ func TestCapacityAdvantageOverBaseline(t *testing.T) {
 	n := 7000
 	for round := 0; round < 3; round++ {
 		for i := 0; i < n; i++ {
-			pc := addr.Build(3, uint64(i/16), uint64(i%16)*256)
-			br := taken(pc, pc.WithOffset(uint64((i%16)*256+64)))
+			pc := addr.Build(3, addr.PageNum(uint64(i/16)), addr.PageOffset(uint64(i%16)*256))
+			br := taken(pc, pc.WithOffset(addr.PageOffset(uint64((i%16)*256+64))))
 			pd.Update(br, btb.Lookup{})
 			base.Update(br, btb.Lookup{})
 		}
 	}
 	pdHits, baseHits := 0, 0
 	for i := 0; i < n; i++ {
-		pc := addr.Build(3, uint64(i/16), uint64(i%16)*256)
+		pc := addr.Build(3, addr.PageNum(uint64(i/16)), addr.PageOffset(uint64(i%16)*256))
 		if pd.Lookup(pc).Hit {
 			pdHits++
 		}

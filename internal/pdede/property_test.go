@@ -18,13 +18,13 @@ func TestRandomStreamInvariants(t *testing.T) {
 		f := func(seed uint64, steps uint16) bool {
 			r := rng.New(seed)
 			for i := 0; i < int(steps)%500+50; i++ {
-				pc := addr.Build(uint64(r.Intn(8)), uint64(r.Intn(64)), uint64(r.Intn(1024))*4)
+				pc := addr.Build(addr.RegionID(uint64(r.Intn(8))), addr.PageNum(uint64(r.Intn(64))), addr.PageOffset(uint64(r.Intn(1024))*4))
 				if r.Bool(0.5) {
 					var target addr.VA
 					if r.Bool(0.6) {
-						target = pc.WithOffset(uint64(r.Intn(1024)) * 4)
+						target = pc.WithOffset(addr.PageOffset(uint64(r.Intn(1024)) * 4))
 					} else {
-						target = addr.Build(uint64(r.Intn(8)), uint64(r.Intn(64)), uint64(r.Intn(1024))*4)
+						target = addr.Build(addr.RegionID(uint64(r.Intn(8))), addr.PageNum(uint64(r.Intn(64))), addr.PageOffset(uint64(r.Intn(1024))*4))
 					}
 					kind := isa.UncondDirect
 					if r.Bool(0.3) {
@@ -73,8 +73,8 @@ func TestDeltaEntriesIndependent(t *testing.T) {
 	var pairs []pair
 	r := rng.New(99)
 	for i := 0; i < 300; i++ {
-		pc := addr.Build(3, uint64(i), uint64(r.Intn(512))*4)
-		tgt := pc.WithOffset(uint64(r.Intn(1024)) * 4)
+		pc := addr.Build(3, addr.PageNum(uint64(i)), addr.PageOffset(uint64(r.Intn(512))*4))
+		tgt := pc.WithOffset(addr.PageOffset(uint64(r.Intn(1024)) * 4))
 		pairs = append(pairs, pair{pc, tgt})
 		p.Update(taken(pc, tgt), btb.Lookup{})
 	}
@@ -90,11 +90,11 @@ func TestDeltaEntriesIndependent(t *testing.T) {
 // number of distinct pages trained.
 func TestPageTableNeverOverAllocates(t *testing.T) {
 	p := mustNew(t, DefaultConfig())
-	distinct := map[uint64]bool{}
+	distinct := map[addr.PageNum]bool{}
 	r := rng.New(7)
 	for i := 0; i < 2000; i++ {
-		pc := addr.Build(1, uint64(i%700), 128)
-		tgt := addr.Build(2, uint64(r.Intn(40)), 64) // ≤40 distinct pages
+		pc := addr.Build(1, addr.PageNum(uint64(i%700)), 128)
+		tgt := addr.Build(2, addr.PageNum(uint64(r.Intn(40))), 64) // ≤40 distinct pages
 		distinct[tgt.Page()] = true
 		p.Update(taken(pc, tgt), btb.Lookup{})
 	}
@@ -120,8 +120,8 @@ func TestStaleRateSmallInSteadyState(t *testing.T) {
 	// (Fig 7), comfortably inside the 1K-entry Page-BTB.
 	sites := make([]site, 3000)
 	for i := range sites {
-		pc := addr.Build(uint64(1+i%3), uint64(i/4), uint64(i%4)*1024)
-		tgt := addr.Build(uint64(1+r.Intn(3)), uint64(r.Intn(50)), uint64(r.Intn(64))*64)
+		pc := addr.Build(addr.RegionID(uint64(1+i%3)), addr.PageNum(uint64(i/4)), addr.PageOffset(uint64(i%4)*1024))
+		tgt := addr.Build(addr.RegionID(uint64(1+r.Intn(3))), addr.PageNum(uint64(r.Intn(50))), addr.PageOffset(uint64(r.Intn(64))*64))
 		sites[i] = site{pc, tgt}
 	}
 	for step := 0; step < 60000; step++ {

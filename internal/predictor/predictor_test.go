@@ -119,7 +119,7 @@ func TestTAGEHandlesBiasedNoise(t *testing.T) {
 	pcs := make([]addr.VA, 64)
 	bias := make([]float64, 64)
 	for i := range pcs {
-		pcs[i] = addr.Build(1, uint64(i/8), uint64(i%8)*64)
+		pcs[i] = addr.Build(1, addr.PageNum(uint64(i/8)), addr.PageOffset(uint64(i%8)*64))
 		if r.Bool(0.5) {
 			bias[i] = 0.95
 		} else {
@@ -198,7 +198,7 @@ func TestRASPairing(t *testing.T) {
 func TestRASOverflowWraps(t *testing.T) {
 	r := NewRAS(4)
 	for i := 0; i < 6; i++ {
-		r.Push(addr.Build(1, uint64(i), 0))
+		r.Push(addr.Build(1, addr.PageNum(uint64(i)), 0))
 	}
 	if r.Depth() != 4 {
 		t.Errorf("depth = %d, want 4", r.Depth())
@@ -206,7 +206,7 @@ func TestRASOverflowWraps(t *testing.T) {
 	// The newest 4 survive: 5,4,3,2.
 	for want := 5; want >= 2; want-- {
 		got, ok := r.Pop()
-		if !ok || got != addr.Build(1, uint64(want), 0) {
+		if !ok || got != addr.Build(1, addr.PageNum(uint64(want)), 0) {
 			t.Errorf("Pop = %v,%v want page %d", got, ok, want)
 		}
 	}

@@ -15,8 +15,8 @@ func trainShotgun(t *testing.T, n int) *Shotgun {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		pc := addr.Build(2, uint64(i/256), uint64((i%256)*16))
-		tgt := addr.Build(2, uint64(i/128), uint64((i%128)*32))
+		pc := addr.Build(2, addr.PageNum(uint64(i/256)), addr.PageOffset(uint64((i%256)*16)))
+		tgt := addr.Build(2, addr.PageNum(uint64(i/128)), addr.PageOffset(uint64((i%128)*32)))
 		kind, taken := isa.UncondDirect, true
 		if i%3 == 0 {
 			kind, taken = isa.CondDirect, i%6 == 0

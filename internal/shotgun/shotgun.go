@@ -121,6 +121,10 @@ func (s *Shotgun) prefetchAround(target addr.VA) {
 			if l := s.cbtb.Lookup(ci.pc); l.Hit {
 				continue
 			}
+			// Shotgun's defining mechanism is prefetch-driven C-BTB
+			// fills on U-BTB hits (the BTB-directed prefetch model): the
+			// C-BTB is a prefetch buffer, not committed state.
+			//pdede:statepurity-ok lookup-time C-BTB installs are the design
 			s.cbtb.Update(isa.Branch{
 				PC:       ci.pc,
 				Target:   ci.target,

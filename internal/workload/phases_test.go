@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"repro/internal/addr"
 	"repro/internal/isa"
 )
 
@@ -19,7 +20,7 @@ func TestRegionPhaseLocality(t *testing.T) {
 	const window = 50_000
 	var instr uint64
 	next := uint64(window)
-	regions := map[uint64]bool{}
+	regions := map[addr.RegionID]bool{}
 	maxRegions, windows := 0, 0
 	for _, b := range tr.Records {
 		instr += uint64(b.BlockLen)
@@ -31,7 +32,7 @@ func TestRegionPhaseLocality(t *testing.T) {
 				maxRegions = len(regions)
 			}
 			windows++
-			regions = map[uint64]bool{}
+			regions = map[addr.RegionID]bool{}
 			next += window
 		}
 	}

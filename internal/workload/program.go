@@ -68,7 +68,7 @@ type Program struct {
 	Funcs []*Func
 	// RegionIDs are the distinct 27-bit region identifiers in use
 	// (index 0 is the driver's region).
-	RegionIDs []uint64
+	RegionIDs []addr.RegionID
 	// DriverCallPC / DriverLoopPC form the dispatch loop that drives
 	// execution: an indirect call followed by a loop-back conditional.
 	DriverCallPC    addr.VA
@@ -120,7 +120,7 @@ func NewProgram(cfg Config) (*Program, error) {
 			continue
 		}
 		seen[id] = true
-		p.RegionIDs = append(p.RegionIDs, id)
+		p.RegionIDs = append(p.RegionIDs, addr.RegionID(id))
 	}
 
 	// --- Driver: its own page in region 0.
@@ -145,7 +145,7 @@ func NewProgram(cfg Config) (*Program, error) {
 			startPage = cursor >> 12
 		}
 		f := &Func{Index: i, Region: region}
-		f.Entry = addr.Build(p.RegionIDs[region], cursor>>12, cursor&0xfff)
+		f.Entry = addr.Build(p.RegionIDs[region], addr.PageNum(cursor>>12), addr.PageOffset(cursor&0xfff))
 		sites := cfg.SitesPerFunc/2 + layoutRNG.Intn(cfg.SitesPerFunc) // ~SitesPerFunc mean
 		if sites < 2 {
 			sites = 2
@@ -325,7 +325,7 @@ func pickForwardTarget(cfg Config, r *rng.Source, f *Func, i int) addr.VA {
 		}
 		// Fall back to an instruction-aligned address elsewhere in the
 		// branch's own page.
-		return s.PC.WithOffset((s.PC.Offset() + isa.InstrBytes*uint64(1+r.Intn(64))) & 0xfff &^ 3)
+		return s.PC.WithOffset((s.PC.Offset() + addr.PageOffset(isa.InstrBytes*uint64(1+r.Intn(64)))) & 0xfff &^ 3)
 	}
 	// Cross-page target: a later site's block in this function, or the
 	// return block.
