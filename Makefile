@@ -29,7 +29,16 @@ BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet lint race fuzz cover bench check check-deep
+# Packages run under the race detector by `make race`. One variable instead
+# of a hardcoded list in the recipe, so new concurrent packages are added
+# here (and CI picks them up automatically).
+RACE_PKGS ?= ./internal/experiments/... ./internal/trace/... ./internal/core/... ./internal/oracle/... ./internal/serve/...
+
+# Tenant count for the acceptance-scale chaos run (`make serve-load`). The
+# plain test suite runs the same scenario at a modest tenant count.
+SERVE_LOAD_TENANTS ?= 1000
+
+.PHONY: build test vet lint race fuzz cover bench serve-load check check-deep
 
 build:
 	$(GO) build ./...
@@ -61,11 +70,11 @@ lint: vet
 	@echo "lint: ok"
 
 # The experiment harness fans apps out across goroutines, the fault layer is
-# exercised from them, the core models run under -parallel app sweeps, and
-# the differential runner drives parallel subtests; keep all of it
-# race-checked on every run.
+# exercised from them, the core models run under -parallel app sweeps, the
+# differential runner drives parallel subtests, and the serve stack is
+# concurrent end to end; keep all of it race-checked on every run.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/trace/... ./internal/core/... ./internal/oracle/...
+	$(GO) test -race $(RACE_PKGS)
 
 # Short coverage-guided fuzz sessions (each seed corpus also runs as a plain
 # test inside `make test`): the trace decoder, the 57-bit VA component
@@ -93,6 +102,13 @@ cover:
 # then review and commit the new BENCH_PR5.json.
 bench: build
 	$(GO) run ./cmd/pdede-bench -q -o $(BENCH_OUT) -baseline $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+
+# Acceptance-scale chaos run against pdede-serve: SERVE_LOAD_TENANTS
+# synthetic tenants with stalling/truncating uploads and one mid-run
+# drain/restart cycle, verified bit-identical against offline replay. The
+# same scenario runs at a modest tenant count inside `make test`.
+serve-load: build
+	PDEDE_LOADTEST_TENANTS=$(SERVE_LOAD_TENANTS) $(GO) test -race -run TestChaosLoad -v -count=1 -timeout 20m ./internal/serve/loadtest
 
 check: vet test race cover
 	@echo "check: ok"

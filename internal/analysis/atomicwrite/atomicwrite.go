@@ -36,6 +36,7 @@ import (
 var Scope = []string{
 	"internal/experiments",
 	"internal/perf",
+	"internal/serve",
 }
 
 // Analyzer is the atomic-write check.

@@ -56,6 +56,7 @@ var ReportScope = []string{
 	"internal/metrics",
 	"internal/experiments",
 	"internal/perf",
+	"internal/serve",
 }
 
 // Analyzer is the determinism check.

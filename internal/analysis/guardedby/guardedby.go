@@ -47,8 +47,8 @@ var Analyzer = &lintkit.Analyzer{
 	Run:  run,
 }
 
-// scope: the concurrent experiment harness.
-var scope = []string{"internal/experiments"}
+// scope: the concurrent experiment harness and the multi-tenant service.
+var scope = []string{"internal/experiments", "internal/serve"}
 
 func run(pass *lintkit.Pass) error {
 	if !pass.InScope(scope) {

@@ -1,0 +1,109 @@
+package atomicio
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("content = %q, want %q", data, "new")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Errorf("perm = %o, want 600", perm)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// TestWriteFileRenameFailure proves the core atomicity promise with a fake
+// rename: when the final rename fails, the original file is untouched and
+// the temp file is cleaned up.
+func TestWriteFileRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteFile(path, []byte("survivor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected rename failure")
+	prev := rename
+	rename = func(oldpath, newpath string) error { return injected }
+	defer func() { rename = prev }()
+
+	err := WriteFile(path, []byte("doomed"), 0o644)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected rename failure", err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "survivor" {
+		t.Fatalf("original clobbered on rename failure: %q", data)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	in := map[string]int{"a": 1, "b": 2}
+	if err := WriteJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["a"] != 1 || out["b"] != 2 {
+		t.Fatalf("round trip = %v", out)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("JSON document should end with a newline")
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such", "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+// assertNoTempLitter fails if any temp file was left behind in dir.
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

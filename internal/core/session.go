@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/predictor"
+)
+
+// Session is an incrementally-driven simulation: the same core model that
+// RunContext replays from a trace Source, but fed record batches by the
+// caller as they arrive. A long-running service applies each tenant's
+// streamed batches through a Session and snapshots rolling metrics between
+// them; RunContext itself is now a Session drained from a Source, so the
+// two paths are the same code and produce bit-identical results.
+//
+// A Session is a sequential state machine, like the predictors it drives:
+// callers serialize Apply/Audit/Snapshot themselves (the serve package
+// holds its per-tenant lock around them).
+type Session struct {
+	sim       *sim
+	auditable btb.Auditable
+	records   uint64
+	name      string
+}
+
+// NewSession validates cfg and assembles the simulation state. The pipeline
+// model keeps whole-trace replay semantics (event timestamps do not
+// checkpoint), so cfg.UsePipeline is rejected here; name labels the
+// Result's App field (RunContext passes the trace's name).
+func NewSession(cfg Config, name string) (*Session, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BTB == nil {
+		return nil, fmt.Errorf("core: no BTB configured")
+	}
+	if cfg.BackendCPI <= 0 {
+		return nil, fmt.Errorf("core: BackendCPI must be positive")
+	}
+	if cfg.UsePipeline {
+		return nil, fmt.Errorf("core: the pipeline model cannot run incrementally (use RunPipelineContext)")
+	}
+	dir := cfg.Direction
+	if dir == nil {
+		var err error
+		dir, err = predictor.NewTAGE(predictor.DefaultTAGEConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	ic, err := cache.New(cfg.Params.ICacheBytes, cfg.Params.ICacheWays, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.Params.L2Bytes, cfg.Params.L2Ways, cfg.Params.ICacheLineBytes)
+	if err != nil {
+		return nil, err
+	}
+	ras := predictor.NewRAS(cfg.Params.RASEntries)
+
+	s := &sim{
+		cfg:  cfg,
+		bpu:  &bpu{dir: dir, ras: ras},
+		ic:   ic,
+		l2:   l2,
+		res:  &Result{App: name, Design: cfg.BTB.Name()},
+		lead: 0,
+	}
+	s.bpu.cfg = &s.cfg
+	s.effCPI = cfg.BackendCPI
+	if min := 1 / float64(cfg.Params.RetireWidth); s.effCPI < min {
+		s.effCPI = min
+	}
+	initProduceTab(&s.produceTab, cfg.Params.FetchWidth)
+
+	se := &Session{sim: s, name: name}
+	if cfg.AuditEvery != 0 {
+		se.auditable, _ = cfg.BTB.(btb.Auditable)
+	}
+	return se, nil
+}
+
+// Apply steps each record of batch through the core in order, honouring the
+// configured audit cadence and the measure window. It returns the number of
+// records consumed: n < len(batch) only when the measure window filled
+// (done = true, remaining records untouched) or a periodic audit failed
+// (err != nil; the structure is corrupt and the Session must be discarded).
+func (se *Session) Apply(batch []isa.Branch) (n int, done bool, err error) {
+	s := se.sim
+	every := s.cfg.AuditEvery
+	for i := range batch {
+		s.step(batch[i])
+		se.records++
+		if se.auditable != nil && se.records%every == 0 {
+			if err := auditBTB(se.auditable, se.records-1); err != nil {
+				return i + 1, false, err
+			}
+		}
+		if s.cfg.MeasureInstrs != 0 && s.measured >= s.cfg.MeasureInstrs {
+			return i + 1, true, nil
+		}
+	}
+	return len(batch), false, nil
+}
+
+// Audit runs the deep invariant check immediately (when the BTB supports it
+// and AuditEvery enabled auditing), independent of the periodic cadence.
+// RunContext calls it once at end of trace; a service calls it before
+// checkpointing a tenant.
+func (se *Session) Audit() error {
+	if se.auditable == nil {
+		return nil
+	}
+	return auditBTB(se.auditable, se.records)
+}
+
+// Records returns how many branch records the session has applied.
+func (se *Session) Records() uint64 { return se.records }
+
+// Result returns the live result accumulator. RunContext returns it
+// directly; callers that keep applying batches must not hold mutable
+// references across Apply calls — use Snapshot for a stable copy.
+func (se *Session) Result() *Result { return se.sim.res }
+
+// Snapshot returns a copy of the rolling result at this instant. Result
+// holds no reference types, so a shallow copy is a deep copy.
+func (se *Session) Snapshot() Result { return *se.sim.res }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/btb"
+	"repro/internal/isa"
+	"repro/internal/pdede"
+)
+
+// TestSessionMatchesRunContext proves the incremental path is the same
+// simulation: feeding the trace through a Session in ragged batch sizes
+// must reproduce RunContext's result bit-for-bit, including cycle floats.
+func TestSessionMatchesRunContext(t *testing.T) {
+	tr, app := testTrace(t, 3000)
+
+	mk := func() btb.TargetPredictor {
+		tp, err := pdede.New(pdede.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp
+	}
+	cfg := Config{
+		Params:       Icelake(),
+		BackendCPI:   app.BackendCPI,
+		WarmupInstrs: 100_000,
+	}
+
+	cfg.BTB = mk()
+	want, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.BTB = mk()
+	se, err := NewSession(cfg, tr.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ragged batch sizes exercise every batch-boundary path: single
+	// records, odd chunks, and one large tail.
+	sizes := []int{1, 7, 64, 1, 997, 3, 4096}
+	recs := tr.Records
+	for i, pos := 0, 0; pos < len(recs); i++ {
+		n := sizes[i%len(sizes)]
+		if pos+n > len(recs) {
+			n = len(recs) - pos
+		}
+		applied, done, err := se.Apply(recs[pos : pos+n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			t.Fatal("measure window reported done with MeasureInstrs=0")
+		}
+		if applied != n {
+			t.Fatalf("Apply consumed %d of %d", applied, n)
+		}
+		pos += n
+	}
+	if se.Records() != uint64(len(recs)) {
+		t.Fatalf("Records() = %d, want %d", se.Records(), len(recs))
+	}
+	got := se.Snapshot()
+	if !reflect.DeepEqual(&got, want) {
+		t.Errorf("session result diverged from RunContext:\n got %+v\nwant %+v", &got, want)
+	}
+}
+
+// TestSessionMeasureWindow checks that Apply stops mid-batch when the
+// measure window fills and reports the records actually consumed.
+func TestSessionMeasureWindow(t *testing.T) {
+	tr, app := testTrace(t, 500)
+	tp, err := btb.NewBaseline(btb.BaselineConfig{Entries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Params:        Icelake(),
+		BackendCPI:    app.BackendCPI,
+		BTB:           tp,
+		MeasureInstrs: 50_000,
+	}
+	se, err := NewSession(cfg, tr.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, done, err := se.Apply(tr.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("measure window never filled")
+	}
+	if applied == len(tr.Records) || applied == 0 {
+		t.Fatalf("expected a mid-batch stop, consumed %d of %d", applied, len(tr.Records))
+	}
+	if got := se.Result().Instructions; got < cfg.MeasureInstrs {
+		t.Errorf("measured %d instructions, want >= %d", got, cfg.MeasureInstrs)
+	}
+}
+
+// TestSessionRejectsPipeline pins the incremental API to the analytic
+// model: the event-timestamped pipeline cannot checkpoint mid-stream.
+func TestSessionRejectsPipeline(t *testing.T) {
+	tp, err := btb.NewBaseline(btb.BaselineConfig{Entries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Params: Icelake(), BackendCPI: 1, BTB: tp, UsePipeline: true}
+	if _, err := NewSession(cfg, "x"); err == nil {
+		t.Fatal("NewSession accepted UsePipeline")
+	}
+}
+
+// auditFailBTB is a stub predictor whose audit starts failing after a set
+// number of updates, standing in for a structure that corrupts mid-stream.
+type auditFailBTB struct {
+	updates   int
+	failAfter int
+}
+
+func (a *auditFailBTB) Name() string                  { return "audit-fail-stub" }
+func (a *auditFailBTB) Lookup(addr.VA) btb.Lookup     { return btb.Lookup{} }
+func (a *auditFailBTB) Update(isa.Branch, btb.Lookup) { a.updates++ }
+func (a *auditFailBTB) StorageBits() uint64           { return 0 }
+func (a *auditFailBTB) Reset()                        { a.updates = 0 }
+func (a *auditFailBTB) Audit() error {
+	if a.updates > a.failAfter {
+		return fmt.Errorf("stub corruption after %d updates", a.failAfter)
+	}
+	return nil
+}
+
+// TestSessionAuditDetectsCorruption wires AuditEvery through Apply: once
+// the structure's invariants break, the periodic audit must abort the
+// session mid-batch with the audit error.
+func TestSessionAuditDetectsCorruption(t *testing.T) {
+	tr, app := testTrace(t, 500)
+	cfg := Config{
+		Params:     Icelake(),
+		BackendCPI: app.BackendCPI,
+		BTB:        &auditFailBTB{failAfter: 1500},
+		AuditEvery: 500,
+	}
+	se, err := NewSession(cfg, tr.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := se.Apply(tr.Records[:1000]); err != nil {
+		t.Fatalf("clean structure failed audit: %v", err)
+	}
+	if err := se.Audit(); err != nil {
+		t.Fatalf("explicit audit on clean structure: %v", err)
+	}
+	applied, _, err := se.Apply(tr.Records[1000:4000])
+	if err == nil {
+		t.Fatal("periodic audit missed injected corruption")
+	}
+	if applied == 0 || applied == 3000 {
+		t.Errorf("audit should stop mid-batch, consumed %d", applied)
+	}
+}

@@ -92,75 +92,28 @@ func Run(cfg Config, src trace.Source) (*Result, error) {
 
 // RunContext is Run with cancellation: the record loop observes ctx every
 // few thousand records, so a deadline or cancel ends the simulation with
-// the context's error instead of running the trace to completion.
+// the context's error instead of running the trace to completion. The
+// simulation itself is a Session drained from src, so batch-streamed
+// (serve) and whole-trace runs share one code path bit-for-bit.
 func RunContext(ctx context.Context, cfg Config, src trace.Source) (*Result, error) {
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.BTB == nil {
-		return nil, fmt.Errorf("core: no BTB configured")
-	}
-	if cfg.BackendCPI <= 0 {
-		return nil, fmt.Errorf("core: BackendCPI must be positive")
-	}
-	dir := cfg.Direction
-	if dir == nil {
-		var err error
-		dir, err = predictor.NewTAGE(predictor.DefaultTAGEConfig())
-		if err != nil {
-			return nil, err
-		}
-	}
-	ic, err := cache.New(cfg.Params.ICacheBytes, cfg.Params.ICacheWays, cfg.Params.ICacheLineBytes)
+	se, err := NewSession(cfg, src.Name())
 	if err != nil {
 		return nil, err
-	}
-	l2, err := cache.New(cfg.Params.L2Bytes, cfg.Params.L2Ways, cfg.Params.ICacheLineBytes)
-	if err != nil {
-		return nil, err
-	}
-	ras := predictor.NewRAS(cfg.Params.RASEntries)
-
-	s := &sim{
-		cfg:  cfg,
-		bpu:  &bpu{cfg: &cfg, dir: dir, ras: ras},
-		ic:   ic,
-		l2:   l2,
-		res:  &Result{App: src.Name(), Design: cfg.BTB.Name()},
-		lead: 0,
-	}
-	s.bpu.cfg = &s.cfg
-	s.effCPI = cfg.BackendCPI
-	if min := 1 / float64(cfg.Params.RetireWidth); s.effCPI < min {
-		s.effCPI = min
-	}
-	initProduceTab(&s.produceTab, cfg.Params.FetchWidth)
-
-	var auditable btb.Auditable
-	if cfg.AuditEvery != 0 {
-		auditable, _ = cfg.BTB.(btb.Auditable)
 	}
 
 	r := src.Open()
-	records := uint64(0)
 	batch := make([]isa.Branch, recordBatch)
-loop:
 	for {
-		if err := checkCtx(ctx, records); err != nil {
+		if err := checkCtx(ctx, se.Records()); err != nil {
 			return nil, err
 		}
 		n, rerr := trace.ReadBatch(r, batch)
-		for i := 0; i < n; i++ {
-			s.step(batch[i])
-			records++
-			if auditable != nil && records%cfg.AuditEvery == 0 {
-				if err := auditBTB(auditable, records-1); err != nil {
-					return nil, err
-				}
-			}
-			if cfg.MeasureInstrs != 0 && s.measured >= cfg.MeasureInstrs {
-				break loop
-			}
+		_, done, err := se.Apply(batch[:n])
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
 		}
 		if rerr != nil {
 			if errors.Is(rerr, io.EOF) {
@@ -172,12 +125,10 @@ loop:
 			break
 		}
 	}
-	if auditable != nil {
-		if err := auditBTB(auditable, records); err != nil {
-			return nil, err
-		}
+	if err := se.Audit(); err != nil {
+		return nil, err
 	}
-	return s.res, nil
+	return se.Result(), nil
 }
 
 type sim struct {

@@ -78,6 +78,18 @@ func DiffDesigns() []Design {
 	return ds
 }
 
+// DesignByName resolves a design from the differential-oracle registry by
+// its registered name. pdede-serve uses it to select the served design
+// from a flag; ok is false for unknown names.
+func DesignByName(name string) (d Design, ok bool) {
+	for _, cand := range DiffDesigns() {
+		if cand.Name == name {
+			return cand, true
+		}
+	}
+	return Design{}, false
+}
+
 // StandardDesigns returns the Figure 10 comparison set.
 func StandardDesigns() []Design {
 	return []Design{

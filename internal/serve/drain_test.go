@@ -1,0 +1,198 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// TestDrainCheckpointRestart is the graceful-shutdown contract under live
+// traffic: mid-stream, the server drains (as the SIGTERM handler in
+// cmd/pdede-serve does — BeginDrain then Close), checkpoints every tenant,
+// and a fresh server on the same checkpoint directory picks the streams
+// back up. Clients just retry through the outage. At the end every
+// tenant's rolling state must be bit-identical to an offline replay —
+// which a lost batch, a double-applied batch, or any metric gap would
+// break — and TotalRecords must be exact.
+func TestDrainCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+	cfg.Workers = 2
+
+	// front proxies to whichever server generation is current, so clients
+	// keep one URL across the restart. The pre-restart pointer serves 503
+	// draining, which clients treat as retryable.
+	var front atomic.Pointer[serve.Server]
+	s1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.Store(s1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		front.Load().Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	const (
+		tenants   = 6
+		batches   = 4
+		batchRecs = 200
+	)
+	perTenant := make([][]isa.Branch, tenants)
+	for i := range perTenant {
+		perTenant[i] = testRecords(t, uint64(500+i), batches*batchRecs)
+	}
+
+	// Restart once, after roughly half the total batches have been acked.
+	var (
+		acked       atomic.Int64
+		restartOnce sync.Once
+		restarted   = make(chan struct{})
+	)
+	maybeRestart := func() {
+		if acked.Load() < tenants*batches/2 {
+			return
+		}
+		restartOnce.Do(func() {
+			// BeginDrain is what the daemon's SIGTERM handler calls; Close
+			// finishes the drain and checkpoints every tenant.
+			s1.BeginDrain()
+			if err := s1.Close(); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			s2, err := serve.New(cfg)
+			if err != nil {
+				t.Errorf("restart: %v", err)
+				close(restarted)
+				return
+			}
+			front.Store(s2)
+			t.Cleanup(func() { s2.Close() })
+			close(restarted)
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	finals := make([]*serve.BatchAck, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("drain-%02d", i)
+			c := client.New(client.Options{
+				BaseURL:     ts.URL,
+				Retries:     60,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  25 * time.Millisecond,
+				Seed:        uint64(i),
+			})
+			for b := 0; b < batches; b++ {
+				recs := perTenant[i][b*batchRecs : (b+1)*batchRecs]
+				ack, err := c.SendBatch(context.Background(), name, uint64(b+1), recs)
+				if err != nil {
+					errs <- fmt.Errorf("%s batch %d: %w", name, b+1, err)
+					return
+				}
+				want := uint64((b + 1) * batchRecs)
+				if ack.TotalRecords != want {
+					errs <- fmt.Errorf("%s batch %d: TotalRecords %d, want %d (lost or double-applied)",
+						name, b+1, ack.TotalRecords, want)
+					return
+				}
+				finals[i] = ack
+				acked.Add(1)
+				maybeRestart()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	select {
+	case <-restarted:
+	default:
+		t.Fatal("restart never triggered; test did not exercise the drain path")
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Every stream must have crossed the restart with no gap and no
+	// replay: the final rolling state equals a clean offline replay.
+	c := newTestClient(ts.URL)
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("drain-%02d", i)
+		wantDigest, want := offlineDigest(t, cfg, name, perTenant[i])
+		if finals[i].Digest != wantDigest {
+			t.Errorf("%s: final digest %s != offline %s", name, finals[i].Digest, wantDigest)
+		}
+		if finals[i].MPKI != want.BTBMPKI() || finals[i].IPC != want.IPC() {
+			t.Errorf("%s: rolling metrics (%g, %g) != offline (%g, %g)",
+				name, finals[i].MPKI, finals[i].IPC, want.BTBMPKI(), want.IPC())
+		}
+		st, err := c.Stats(context.Background(), name)
+		if err != nil {
+			t.Errorf("%s: stats: %v", name, err)
+			continue
+		}
+		if st.Digest != wantDigest || st.TotalRecords != uint64(batches*batchRecs) {
+			t.Errorf("%s: post-restart stats %+v, want digest %s records %d",
+				name, st, wantDigest, batches*batchRecs)
+		}
+	}
+}
+
+// TestCloseCheckpointsIdleTenants: tenants that received traffic but are
+// idle at shutdown must still be durably checkpointed by Close.
+func TestCloseCheckpointsIdleTenants(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+
+	s1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	c := newTestClient(ts1.URL)
+	recs := testRecords(t, 11, 300)
+	ack1, err := c.SendBatch(context.Background(), "idle", 1, recs[:150])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := startServer(t, cfg)
+	c2 := newTestClient(ts2.URL)
+	st, err := c2.Stats(context.Background(), "idle")
+	if err != nil {
+		t.Fatalf("state lost across restart: %v", err)
+	}
+	if st.Digest != ack1.Digest || st.NextSeq != 2 {
+		t.Fatalf("restored stats %+v, want digest %s next_seq 2", st, ack1.Digest)
+	}
+	ack2, err := c2.SendBatch(context.Background(), "idle", 2, recs[150:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, _ := offlineDigest(t, cfg, "idle", recs)
+	if ack2.Digest != wantDigest {
+		t.Errorf("digest %s != offline %s after restart", ack2.Digest, wantDigest)
+	}
+}

@@ -1,0 +1,399 @@
+// Package loadtest is the chaos harness for pdede-serve: it drives many
+// synthetic tenants through a live server while injecting the failures the
+// service is engineered for — stalling uploads, mid-stream truncation, and
+// a full drain/restart cycle — then proves the invariants that matter:
+//
+//   - zero lost batches: every tenant's final TotalRecords is exact;
+//   - zero double-applied batches: retried sequence numbers are
+//     acknowledged as duplicates, never re-trained;
+//   - bit-identical results: every tenant's final digest equals an
+//     offline core.Session replay of the same records.
+//
+// The harness is deterministic end to end: tenant traces come from
+// internal/workload seeded per tenant, client backoff jitter comes from
+// internal/rng, and faults are assigned by tenant index — a rerun with
+// the same options injects the same chaos.
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	// Config is the service configuration; Design is required. When
+	// Restart is set and CheckpointDir is empty, a temporary directory is
+	// created and removed afterwards.
+	Config serve.Config
+	// Tenants is the number of synthetic tenants (default 100).
+	Tenants int
+	// Batches per tenant (default 3) of BatchRecords records each
+	// (default 120).
+	Batches      int
+	BatchRecords int
+	// Seed derives every tenant's trace and the client backoff jitter.
+	Seed uint64
+	// Concurrency bounds simultaneously streaming tenants (default 64).
+	Concurrency int
+	// Restart, when set, drains and restarts the server once, mid-run,
+	// after roughly half of all batches have been acknowledged — the
+	// SIGTERM/restart cycle from the service's point of view.
+	Restart bool
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Report summarizes a completed run. All invariants already held if the
+// run returned no error; the report carries the fault and latency tallies.
+type Report struct {
+	Tenants, Batches, Records int
+	// Attempts counts HTTP attempts for batch uploads; Attempts minus
+	// acknowledged batches is the retry volume the faults induced.
+	Attempts int
+	// StallsInjected and TruncationsInjected count fault-carrying attempts.
+	StallsInjected      int
+	TruncationsInjected int
+	// DuplicateAcks counts batches acknowledged from the server's
+	// exactly-once cache rather than applied (a retry whose first attempt
+	// had actually landed).
+	DuplicateAcks int
+	Restarts      int
+	Elapsed       time.Duration
+	// Batch-upload latency distribution (includes retries and backoff).
+	P50, P90, P99, Max time.Duration
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"tenants=%d batches=%d records=%d attempts=%d dup_acks=%d stalls=%d truncations=%d restarts=%d elapsed=%v p50=%v p90=%v p99=%v max=%v",
+		r.Tenants, r.Batches, r.Records, r.Attempts, r.DuplicateAcks,
+		r.StallsInjected, r.TruncationsInjected, r.Restarts, r.Elapsed.Round(time.Millisecond),
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// noDeadline: batch deadlines are the server's job here; the harness
+// bounds the run by retry counts instead.
+var noDeadline = context.Background()
+
+// tenantName is the synthetic tenant naming scheme.
+func tenantName(i int) string { return fmt.Sprintf("t%05d", i) }
+
+// faultFor assigns chaos by tenant index: every 5th tenant (offset 1)
+// truncates its first batch's first attempt mid-stream; every 5th (offset
+// 2) stalls repeatedly while uploading its middle batch — a slow client
+// holding a handler goroutine. Retries are always clean.
+func faultFor(i, batches int, stalls, truncs *atomic.Int64) func(string, uint64, int) trace.FaultPlan {
+	mid := uint64(batches)/2 + 1
+	return func(_ string, seq uint64, attempt int) trace.FaultPlan {
+		if attempt != 0 {
+			return trace.FaultPlan{}
+		}
+		switch i % 5 {
+		case 1:
+			if seq == 1 {
+				truncs.Add(1)
+				return trace.FaultPlan{TruncateAt: 40}
+			}
+		case 2:
+			if seq == mid {
+				stalls.Add(1)
+				return trace.FaultPlan{StallAt: 10, StallEvery: 25, StallFor: 2 * time.Millisecond}
+			}
+		}
+		return trace.FaultPlan{}
+	}
+}
+
+// buildRecords generates tenant i's deterministic trace.
+func buildRecords(seed uint64, i, n int) ([]isa.Branch, error) {
+	cfg := workload.Default()
+	cfg.Seed = seed ^ uint64(i)*0x9e3779b97f4a7c15
+	cfg.StaticBranches = 300
+	_, tr, err := workload.Build(cfg, uint64(n)*12+20_000)
+	if err != nil {
+		return nil, err
+	}
+	if len(tr.Records) < n {
+		return nil, fmt.Errorf("loadtest: workload for tenant %d built %d records, need %d", i, len(tr.Records), n)
+	}
+	return tr.Records[:n], nil
+}
+
+// Run executes the chaos scenario and verifies every invariant. A non-nil
+// error means an invariant broke (or the harness itself failed); the
+// Report is returned alongside whenever the run got far enough to measure.
+func Run(opt Options) (*Report, error) {
+	if opt.Config.Design.New == nil {
+		return nil, fmt.Errorf("loadtest: Options.Config.Design is required")
+	}
+	if opt.Tenants <= 0 {
+		opt.Tenants = 100
+	}
+	if opt.Batches <= 0 {
+		opt.Batches = 3
+	}
+	if opt.BatchRecords <= 0 {
+		opt.BatchRecords = 120
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 64
+	}
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cfg := opt.Config
+	if opt.Restart && cfg.CheckpointDir == "" {
+		dir, err := os.MkdirTemp("", "pdede-loadtest-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.CheckpointDir = dir
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var front atomic.Pointer[serve.Server]
+	front.Store(srv)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		front.Load().Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	defer func() { front.Load().Close() }()
+
+	var (
+		attempts, stalls, truncs, dups atomic.Int64
+		acked                          atomic.Int64
+		restarts                       atomic.Int64
+		restartOnce                    sync.Once
+		restartErr                     error
+	)
+	totalBatches := opt.Tenants * opt.Batches
+	maybeRestart := func() {
+		if !opt.Restart || acked.Load() < int64(totalBatches/2) {
+			return
+		}
+		restartOnce.Do(func() {
+			logf("loadtest: draining and restarting server at %d/%d batches", acked.Load(), totalBatches)
+			old := front.Load()
+			old.BeginDrain()
+			if err := old.Close(); err != nil {
+				restartErr = fmt.Errorf("loadtest: drain: %w", err)
+				return
+			}
+			next, err := serve.New(cfg)
+			if err != nil {
+				restartErr = fmt.Errorf("loadtest: restart: %w", err)
+				return
+			}
+			front.Store(next)
+			restarts.Add(1)
+			logf("loadtest: server restarted")
+		})
+	}
+
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	sem := make(chan struct{}, opt.Concurrency)
+	var wg sync.WaitGroup
+	allRecords := make([][]isa.Branch, opt.Tenants)
+	for i := 0; i < opt.Tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			name := tenantName(i)
+			recs, err := buildRecords(opt.Seed, i, opt.Batches*opt.BatchRecords)
+			if err != nil {
+				fail("%v", err)
+				return
+			}
+			allRecords[i] = recs
+			fault := faultFor(i, opt.Batches, &stalls, &truncs)
+			c := client.New(client.Options{
+				BaseURL:     ts.URL,
+				Retries:     100,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  50 * time.Millisecond,
+				Seed:        opt.Seed,
+				Fault: func(tenant string, seq uint64, attempt int) trace.FaultPlan {
+					attempts.Add(1)
+					return fault(tenant, seq, attempt)
+				},
+			})
+			tenantLat := make([]time.Duration, 0, opt.Batches)
+			for b := 0; b < opt.Batches; b++ {
+				batch := recs[b*opt.BatchRecords : (b+1)*opt.BatchRecords]
+				t0 := time.Now()
+				ack, err := c.SendBatch(noDeadline, name, uint64(b+1), batch)
+				if err != nil {
+					fail("%s batch %d: %v", name, b+1, err)
+					return
+				}
+				tenantLat = append(tenantLat, time.Since(t0))
+				if ack.Duplicate {
+					dups.Add(1)
+				} else if ack.Records != len(batch) {
+					fail("%s batch %d: applied %d of %d records", name, b+1, ack.Records, len(batch))
+					return
+				}
+				if want := uint64((b + 1) * opt.BatchRecords); ack.TotalRecords != want {
+					fail("%s batch %d: TotalRecords %d, want %d (lost or double-applied)",
+						name, b+1, ack.TotalRecords, want)
+					return
+				}
+				acked.Add(1)
+				maybeRestart()
+			}
+			mu.Lock()
+			latencies = append(latencies, tenantLat...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if restartErr != nil {
+		return nil, restartErr
+	}
+	if opt.Restart && restarts.Load() == 0 {
+		return nil, fmt.Errorf("loadtest: restart requested but never triggered")
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("loadtest: %d invariant violations, first: %s", len(failures), strings.Join(failures, "; "))
+	}
+	logf("loadtest: traffic done in %v (%d attempts for %d batches); verifying against offline replay", elapsed.Round(time.Millisecond), attempts.Load(), totalBatches)
+
+	if err := verifyOffline(&cfg, ts.URL, opt, allRecords); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	rep := &Report{
+		Tenants:             opt.Tenants,
+		Batches:             totalBatches,
+		Records:             totalBatches * opt.BatchRecords,
+		Attempts:            int(attempts.Load()),
+		StallsInjected:      int(stalls.Load()),
+		TruncationsInjected: int(truncs.Load()),
+		DuplicateAcks:       int(dups.Load()),
+		Restarts:            int(restarts.Load()),
+		Elapsed:             elapsed,
+		P50:                 pct(0.50),
+		P90:                 pct(0.90),
+		P99:                 pct(0.99),
+		Max:                 pct(1.0),
+	}
+	logf("loadtest: %s", rep)
+	return rep, nil
+}
+
+// verifyOffline fetches every tenant's authoritative stats and compares
+// them against a clean offline core.Session replay of the same records —
+// the bit-identical acceptance check. Replays fan out across CPUs.
+func verifyOffline(cfg *serve.Config, baseURL string, opt Options, allRecords [][]isa.Branch) error {
+	c := client.New(client.Options{
+		BaseURL:     baseURL,
+		Retries:     20,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Seed:        opt.Seed,
+	})
+	var (
+		mu       sync.Mutex
+		failures []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i := range allRecords {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			name := tenantName(i)
+			recs := allRecords[i]
+			if recs == nil {
+				fail("%s: no records generated", name)
+				return
+			}
+			st, err := c.Stats(noDeadline, name)
+			if err != nil {
+				fail("%s: stats: %v", name, err)
+				return
+			}
+			if st.TotalRecords != uint64(len(recs)) {
+				fail("%s: server holds %d records, want %d", name, st.TotalRecords, len(recs))
+				return
+			}
+			se, err := cfg.NewSession(name)
+			if err != nil {
+				fail("%s: offline session: %v", name, err)
+				return
+			}
+			for pos := 0; pos < len(recs); {
+				n, _, err := se.Apply(recs[pos:])
+				if err != nil {
+					fail("%s: offline replay: %v", name, err)
+					return
+				}
+				pos += n
+			}
+			snap := se.Snapshot()
+			if want := serve.ResultDigest(&snap); st.Digest != want {
+				fail("%s: served digest %s != offline %s", name, st.Digest, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		return fmt.Errorf("loadtest: offline verification failed for %d tenants, first: %s",
+			len(failures), strings.Join(failures, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package loadtest
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// TestChaosLoad runs the full chaos scenario: many concurrent tenants,
+// stalling and truncating uploads, and one mid-run drain/restart cycle.
+// The tier-1 default keeps the tenant count modest; `make serve-load` (and
+// the nightly chaos job) sets PDEDE_LOADTEST_TENANTS=1000 for the
+// acceptance-scale run.
+func TestChaosLoad(t *testing.T) {
+	tenants := 120
+	if s := os.Getenv("PDEDE_LOADTEST_TENANTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad PDEDE_LOADTEST_TENANTS=%q", s)
+		}
+		tenants = n
+	}
+	rep, err := Run(Options{
+		Config: serve.Config{
+			Design:     experiments.BaselineDesign("baseline-512", 512),
+			Workers:    8,
+			QueueDepth: 256,
+			RetryAfter: time.Millisecond,
+		},
+		Tenants:      tenants,
+		Batches:      3,
+		BatchRecords: 120,
+		Seed:         1,
+		Restart:      true,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TruncationsInjected == 0 || rep.StallsInjected == 0 {
+		t.Errorf("chaos did not fire: %s", rep)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", rep.Restarts)
+	}
+	// Every truncated upload forces at least one retry.
+	if rep.Attempts < rep.Batches+rep.TruncationsInjected {
+		t.Errorf("attempts %d too low for %d batches with %d truncations",
+			rep.Attempts, rep.Batches, rep.TruncationsInjected)
+	}
+}
+
+// TestRunRejectsMissingDesign pins the harness's own validation.
+func TestRunRejectsMissingDesign(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("Run accepted a zero Options")
+	}
+}

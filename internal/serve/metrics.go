@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// metrics are the service's operational counters. Everything is atomic:
+// counters are bumped on hot paths that must not contend on a lock.
+type metrics struct {
+	batches          atomic.Uint64 // batches applied (exactly once each)
+	records          atomic.Uint64 // records applied
+	duplicates       atomic.Uint64 // retried batches answered from cache
+	backpressure     atomic.Uint64 // 429s (tenant or shard queue full)
+	deadlines        atomic.Uint64 // requests that missed RequestTimeout
+	truncated        atomic.Uint64 // bodies that died mid-stream
+	crashes          atomic.Uint64 // simulator panics/audit failures contained
+	quarantines      atomic.Uint64 // tenants quarantined
+	shed             atomic.Uint64 // tenants checkpointed + freed under pressure
+	restores         atomic.Uint64 // tenants restored from checkpoint
+	checkpoints      atomic.Uint64 // checkpoint files written
+	checkpointErrors atomic.Uint64
+	drainRejects     atomic.Uint64 // requests refused while draining
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// handleMetrics renders the prometheus-style text exposition. Counters
+// come first in a fixed order, then per-worker queue depths, then
+// per-tenant gauges in sorted name order — the output is deterministic for
+// a given state, so scrapes and tests can diff it.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"pdede_serve_batches_applied_total", s.met.batches.Load()},
+		{"pdede_serve_records_applied_total", s.met.records.Load()},
+		{"pdede_serve_duplicate_batches_total", s.met.duplicates.Load()},
+		{"pdede_serve_backpressure_total", s.met.backpressure.Load()},
+		{"pdede_serve_deadline_misses_total", s.met.deadlines.Load()},
+		{"pdede_serve_truncated_batches_total", s.met.truncated.Load()},
+		{"pdede_serve_crashes_total", s.met.crashes.Load()},
+		{"pdede_serve_quarantines_total", s.met.quarantines.Load()},
+		{"pdede_serve_tenants_shed_total", s.met.shed.Load()},
+		{"pdede_serve_tenants_restored_total", s.met.restores.Load()},
+		{"pdede_serve_checkpoints_written_total", s.met.checkpoints.Load()},
+		{"pdede_serve_checkpoint_errors_total", s.met.checkpointErrors.Load()},
+		{"pdede_serve_drain_rejects_total", s.met.drainRejects.Load()},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.v)
+	}
+	fmt.Fprintf(&b, "pdede_serve_resident_tenants %d\n", s.resident.Load())
+	for i, q := range s.queues {
+		fmt.Fprintf(&b, "pdede_serve_queue_depth{worker=\"%d\"} %d\n", i, len(q))
+	}
+
+	s.mu.Lock()
+	var names []string
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ts := make([]*tenant, 0, len(names))
+	for _, name := range names {
+		ts = append(ts, s.tenants[name])
+	}
+	s.mu.Unlock()
+	for _, t := range ts {
+		t.mu.Lock()
+		fmt.Fprintf(&b, "pdede_serve_tenant_next_seq{tenant=%q} %d\n", t.name, t.nextSeq)
+		fmt.Fprintf(&b, "pdede_serve_tenant_pending{tenant=%q} %d\n", t.name, t.pending.Load())
+		if t.quarantined {
+			fmt.Fprintf(&b, "pdede_serve_tenant_quarantined{tenant=%q} 1\n", t.name)
+		}
+		if t.sess != nil {
+			snap := t.sess.Snapshot()
+			fmt.Fprintf(&b, "pdede_serve_tenant_mpki{tenant=%q} %s\n",
+				t.name, formatFloat(snap.BTBMPKI()))
+			fmt.Fprintf(&b, "pdede_serve_tenant_ipc{tenant=%q} %s\n",
+				t.name, formatFloat(snap.IPC()))
+		}
+		t.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, b.String())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

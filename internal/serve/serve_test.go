@@ -1,0 +1,539 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testConfig is a small, fast service configuration shared by the tests:
+// a 512-entry baseline BTB and tiny timeouts so failure paths run in
+// milliseconds.
+func testConfig(t *testing.T) serve.Config {
+	t.Helper()
+	return serve.Config{
+		Design:     experiments.BaselineDesign("baseline-512", 512),
+		Workers:    2,
+		RetryAfter: time.Millisecond, // floors to a 0s header: tests rely on client backoff
+	}
+}
+
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func newTestClient(url string) *client.Client {
+	return client.New(client.Options{
+		BaseURL:     url,
+		Retries:     20,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        42,
+	})
+}
+
+// testRecords builds a deterministic synthetic branch stream.
+func testRecords(t *testing.T, seed uint64, n int) []isa.Branch {
+	t.Helper()
+	cfg := workload.Default()
+	cfg.Seed = seed
+	cfg.StaticBranches = 400
+	_, tr, err := workload.Build(cfg, uint64(n)*12+20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) < n {
+		t.Fatalf("workload built %d records, need %d", len(tr.Records), n)
+	}
+	return tr.Records[:n]
+}
+
+// offlineDigest replays recs through a fresh offline session built from the
+// same service config and returns the result digest plus the result.
+func offlineDigest(t *testing.T, cfg serve.Config, name string, recs []isa.Branch) (string, core.Result) {
+	t.Helper()
+	se, err := cfg.NewSession(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(recs); {
+		n, _, err := se.Apply(recs[pos:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos += n
+	}
+	snap := se.Snapshot()
+	return serve.ResultDigest(&snap), snap
+}
+
+// encodeBatch serializes records the way the client does, for raw HTTP
+// tests that bypass the client package.
+func encodeBatch(t *testing.T, name string, recs []isa.Branch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	src := &trace.Memory{TraceName: name, Records: recs}
+	if err := trace.Write(&buf, name, src.Open()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBatchStreamMatchesOffline is the core served-vs-offline contract:
+// streaming a trace in batches through HTTP must produce bit-identical
+// rolling results to an offline core.Session replay.
+func TestBatchStreamMatchesOffline(t *testing.T) {
+	cfg := testConfig(t)
+	_, ts := startServer(t, cfg)
+	c := newTestClient(ts.URL)
+	recs := testRecords(t, 1, 3000)
+
+	var last *serve.BatchAck
+	const batch = 500
+	for seq, pos := uint64(1), 0; pos < len(recs); seq++ {
+		end := pos + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		ack, err := c.SendBatch(context.Background(), "alpha", seq, recs[pos:end])
+		if err != nil {
+			t.Fatalf("batch %d: %v", seq, err)
+		}
+		if ack.Records != end-pos {
+			t.Fatalf("batch %d applied %d records, want %d", seq, ack.Records, end-pos)
+		}
+		last = ack
+		pos = end
+	}
+	wantDigest, want := offlineDigest(t, cfg, "alpha", recs)
+	if last.Digest != wantDigest {
+		t.Errorf("served digest %s != offline %s", last.Digest, wantDigest)
+	}
+	if last.TotalRecords != uint64(len(recs)) {
+		t.Errorf("TotalRecords = %d, want %d", last.TotalRecords, len(recs))
+	}
+	if last.MPKI != want.BTBMPKI() || last.IPC != want.IPC() {
+		t.Errorf("rolling metrics diverge: got (%g, %g), want (%g, %g)",
+			last.MPKI, last.IPC, want.BTBMPKI(), want.IPC())
+	}
+
+	st, err := c.Stats(context.Background(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Digest != wantDigest || st.NextSeq != last.Seq+1 {
+		t.Errorf("stats = %+v, want digest %s next_seq %d", st, wantDigest, last.Seq+1)
+	}
+}
+
+// TestExactlyOnce resends an applied batch and checks it is acknowledged
+// from cache without re-training the simulator.
+func TestExactlyOnce(t *testing.T) {
+	cfg := testConfig(t)
+	_, ts := startServer(t, cfg)
+	c := newTestClient(ts.URL)
+	recs := testRecords(t, 2, 400)
+
+	first, err := c.SendBatch(context.Background(), "dup", 1, recs[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.SendBatch(context.Background(), "dup", 1, recs[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Duplicate || again.Records != 0 {
+		t.Fatalf("retransmit not detected: %+v", again)
+	}
+	if again.Digest != first.Digest || again.TotalRecords != first.TotalRecords {
+		t.Errorf("duplicate ack carries different state: %+v vs %+v", again, first)
+	}
+	second, err := c.SendBatch(context.Background(), "dup", 2, recs[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, _ := offlineDigest(t, cfg, "dup", recs)
+	if second.Digest != wantDigest {
+		t.Errorf("digest after retransmit %s != offline %s (double-applied?)", second.Digest, wantDigest)
+	}
+}
+
+// TestGapRejected: skipping ahead must be a terminal ordering error.
+func TestGapRejected(t *testing.T) {
+	_, ts := startServer(t, testConfig(t))
+	c := newTestClient(ts.URL)
+	recs := testRecords(t, 3, 100)
+	_, err := c.SendBatch(context.Background(), "gappy", 5, recs)
+	var se *client.Err
+	if !errors.As(err, &se) || se.Body.Code != serve.CodeGap || se.Body.Retryable {
+		t.Fatalf("err = %v, want non-retryable %s", err, serve.CodeGap)
+	}
+}
+
+// TestPanicIsolationAndQuarantine injects simulator panics for one tenant
+// and checks: the crash is contained (other tenants unaffected), the
+// crashed batch is never applied, state rebuilds from the journal, and the
+// tenant quarantines after the configured crash count.
+func TestPanicIsolationAndQuarantine(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QuarantineAfter = 2
+	cfg.ApplyHook = func(tenant string, seq uint64) {
+		if tenant == "victim" && seq == 2 {
+			panic("injected simulator bug")
+		}
+	}
+	_, ts := startServer(t, cfg)
+	c := newTestClient(ts.URL)
+	recs := testRecords(t, 4, 600)
+
+	if _, err := c.SendBatch(context.Background(), "victim", 1, recs[:200]); err != nil {
+		t.Fatal(err)
+	}
+	// First crash: contained, not applied, not retryable.
+	_, err := c.SendBatch(context.Background(), "victim", 2, recs[200:400])
+	var se *client.Err
+	if !errors.As(err, &se) || se.Body.Code != serve.CodeCrashed {
+		t.Fatalf("err = %v, want %s", err, serve.CodeCrashed)
+	}
+	// The bystander tenant is untouched by the victim's crash.
+	if _, err := c.SendBatch(context.Background(), "bystander", 1, recs[:200]); err != nil {
+		t.Fatalf("crash leaked across tenants: %v", err)
+	}
+	// The victim's state survived: batch 1 is still there, rebuilt from
+	// the journal, bit-identical to an offline replay.
+	st, err := c.Stats(context.Background(), "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, _ := offlineDigest(t, cfg, "victim", recs[:200])
+	if st.Digest != wantDigest || st.NextSeq != 2 || st.Crashes != 1 {
+		t.Errorf("post-crash stats %+v, want digest %s next_seq 2 crashes 1", st, wantDigest)
+	}
+	// Second crash trips quarantine; further batches are refused.
+	if _, err := c.SendBatch(context.Background(), "victim", 2, recs[200:400]); err == nil {
+		t.Fatal("second crash not reported")
+	}
+	_, err = c.SendBatch(context.Background(), "victim", 2, recs[400:600])
+	if !errors.As(err, &se) || se.Body.Code != serve.CodeQuarantined || se.Body.Retryable {
+		t.Fatalf("err = %v, want non-retryable %s", err, serve.CodeQuarantined)
+	}
+}
+
+// TestTruncatedUploadRetries injects a mid-stream truncation into the
+// first attempt's body; the server must apply nothing, answer a retryable
+// error, and the clean retry must succeed with unchanged results.
+func TestTruncatedUploadRetries(t *testing.T) {
+	cfg := testConfig(t)
+	_, ts := startServer(t, cfg)
+	recs := testRecords(t, 5, 300)
+	c := client.New(client.Options{
+		BaseURL:     ts.URL,
+		Retries:     5,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        7,
+		Fault: func(tenant string, seq uint64, attempt int) trace.FaultPlan {
+			if attempt == 0 {
+				return trace.FaultPlan{TruncateAt: 50}
+			}
+			return trace.FaultPlan{}
+		},
+	})
+	ack, err := c.SendBatch(context.Background(), "chopped", 1, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Duplicate {
+		t.Error("truncated attempt must not have applied")
+	}
+	wantDigest, _ := offlineDigest(t, cfg, "chopped", recs)
+	if ack.Digest != wantDigest {
+		t.Errorf("digest %s != offline %s", ack.Digest, wantDigest)
+	}
+}
+
+// TestBackpressure fills the single worker and its depth-1 queue, then
+// checks the next batch is refused with 429 + Retry-After instead of
+// queueing unboundedly.
+func TestBackpressure(t *testing.T) {
+	var gate atomic.Bool
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.ApplyHook = func(string, uint64) {
+		for gate.Load() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	gate.Store(true)
+	_, ts := startServer(t, cfg)
+	recs := testRecords(t, 6, 50)
+
+	post := func(tenant string) *http.Response {
+		body := encodeBatch(t, tenant, recs)
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/tenants/%s/batches/1", ts.URL, tenant),
+			"application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// First batch occupies the worker; second fills the queue.
+	done := make(chan *http.Response, 2)
+	go func() { done <- post("w1") }()
+	time.Sleep(50 * time.Millisecond)
+	go func() { done <- post("w2") }()
+	time.Sleep(50 * time.Millisecond)
+
+	resp := post("w3")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get(serve.RetryAfterHeader) == "" {
+		t.Error("429 without a Retry-After hint")
+	}
+	gate.Store(false)
+	for i := 0; i < 2; i++ {
+		r := <-done
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("queued batch finished with %d, want 200", r.StatusCode)
+		}
+		r.Body.Close()
+	}
+}
+
+// TestDeadlineThenDuplicate: a slow apply misses the request deadline
+// (504, retryable); the retry of the same sequence number is acknowledged
+// as a duplicate once the batch lands.
+func TestDeadlineThenDuplicate(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RequestTimeout = 20 * time.Millisecond
+	var slow atomic.Bool
+	slow.Store(true)
+	cfg.ApplyHook = func(string, uint64) {
+		if slow.CompareAndSwap(true, false) {
+			time.Sleep(80 * time.Millisecond)
+		}
+	}
+	_, ts := startServer(t, cfg)
+	c := client.New(client.Options{
+		BaseURL:     ts.URL,
+		Retries:     20,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		Seed:        9,
+	})
+	recs := testRecords(t, 7, 200)
+	ack, err := c.SendBatch(context.Background(), "tardy", 1, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Duplicate {
+		t.Log("note: first attempt won the race; duplicate path not exercised this run")
+	}
+	if ack.TotalRecords != uint64(len(recs)) {
+		t.Errorf("TotalRecords = %d, want %d (batch lost or double-applied)", ack.TotalRecords, len(recs))
+	}
+	wantDigest, _ := offlineDigest(t, cfg, "tardy", recs)
+	st, err := c.Stats(context.Background(), "tardy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Digest != wantDigest {
+		t.Errorf("digest %s != offline %s", st.Digest, wantDigest)
+	}
+}
+
+// TestShedAndRestore drives more tenants than the resident cap allows and
+// checks idle state is checkpointed out, restored on demand, and still
+// bit-identical to offline replay afterwards.
+func TestShedAndRestore(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	cfg.MaxResidentTenants = 2
+	cfg.CheckpointDir = t.TempDir()
+	_, ts := startServer(t, cfg)
+	c := newTestClient(ts.URL)
+
+	tenants := []string{"s-a", "s-b", "s-c", "s-d"}
+	perTenant := make(map[string][]isa.Branch)
+	for i, name := range tenants {
+		perTenant[name] = testRecords(t, uint64(100+i), 400)
+	}
+	for _, name := range tenants {
+		if _, err := c.SendBatch(context.Background(), name, 1, perTenant[name][:200]); err != nil {
+			t.Fatalf("%s batch 1: %v", name, err)
+		}
+	}
+	// A second round touches every tenant again: the ones shed in between
+	// must restore from checkpoint transparently.
+	for _, name := range tenants {
+		ack, err := c.SendBatch(context.Background(), name, 2, perTenant[name][200:])
+		if err != nil {
+			t.Fatalf("%s batch 2: %v", name, err)
+		}
+		wantDigest, _ := offlineDigest(t, cfg, name, perTenant[name])
+		if ack.Digest != wantDigest {
+			t.Errorf("%s digest %s != offline %s after shed/restore", name, ack.Digest, wantDigest)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, metric := range []string{"pdede_serve_tenants_shed_total", "pdede_serve_tenants_restored_total"} {
+		if !metricAtLeast(body, metric, 1) {
+			t.Errorf("expected %s >= 1 with a resident cap of 2 and 4 tenants\n%s", metric, body)
+		}
+	}
+}
+
+// metricAtLeast parses one un-labelled counter line out of the exposition.
+func metricAtLeast(body, name string, min int) bool {
+	for _, line := range strings.Split(body, "\n") {
+		var v int
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v >= min
+		}
+	}
+	return false
+}
+
+// TestConfigDigestGuardsCheckpoints: a server with a different design must
+// refuse another server's checkpoints instead of replaying a journal into
+// the wrong simulator.
+func TestConfigDigestGuardsCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.CheckpointDir = dir
+	s1, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	c := newTestClient(ts1.URL)
+	recs := testRecords(t, 8, 200)
+	if _, err := c.SendBatch(context.Background(), "pinned", 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := testConfig(t)
+	other.Design = experiments.BaselineDesign("baseline-1024", 1024)
+	other.CheckpointDir = dir
+	_, ts2 := startServer(t, other)
+	c2 := newTestClient(ts2.URL)
+	_, err = c2.SendBatch(context.Background(), "pinned", 2, recs)
+	var se *client.Err
+	if !errors.As(err, &se) || se.Body.Code != serve.CodeCheckpoint || se.Body.Retryable {
+		t.Fatalf("err = %v, want non-retryable %s", err, serve.CodeCheckpoint)
+	}
+}
+
+// TestBadRequests pins the validation surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := startServer(t, testConfig(t))
+	recs := testRecords(t, 9, 20)
+	body := encodeBatch(t, "x", recs)
+	cases := []struct {
+		name string
+		url  string
+		body []byte
+		want int
+	}{
+		{"bad tenant", "/v1/tenants/..sneaky/batches/1", body, http.StatusBadRequest},
+		{"bad seq", "/v1/tenants/ok/batches/zero", body, http.StatusBadRequest},
+		{"seq zero", "/v1/tenants/ok/batches/0", body, http.StatusBadRequest},
+		{"empty body", "/v1/tenants/ok/batches/1", nil, http.StatusBadRequest},
+		{"garbage body", "/v1/tenants/ok/batches/1", []byte("not a trace"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/octet-stream", bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	// An unknown tenant has no stats.
+	resp, err := http.Get(ts.URL + "/v1/tenants/ghost/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stats for unknown tenant: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthEndpoints checks liveness vs readiness split across drain.
+func TestHealthEndpoints(t *testing.T) {
+	s, ts := startServer(t, testConfig(t))
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz = %d", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz = %d", got)
+	}
+	s.BeginDrain()
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (still alive)", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", got)
+	}
+	recs := testRecords(t, 10, 20)
+	resp, err := http.Post(ts.URL+"/v1/tenants/late/batches/1",
+		"application/octet-stream", bytes.NewReader(encodeBatch(t, "late", recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch while draining = %d, want 503", resp.StatusCode)
+	}
+}

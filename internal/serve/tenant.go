@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// tenant is one client's simulation plus the bookkeeping that makes it
+// survive crashes, shedding and restarts. The source of truth is the
+// journal — the exact sequence of records ever applied — not the simulator:
+// the simulator can always be rebuilt by replaying the journal through a
+// fresh core.Session, and determinism makes the rebuild bit-identical.
+type tenant struct {
+	name string
+
+	// pending counts admitted-but-unapplied batches; it is both the
+	// per-tenant queue-depth gate and the shedder's activity check.
+	pending atomic.Int32
+	// touch is the logical-clock stamp of the last request; the shedder
+	// evicts the smallest stamps first.
+	touch atomic.Uint64
+
+	mu sync.Mutex
+	// sess is the live simulator; nil when shed to disk or torn down
+	// after a crash (rebuilt on demand by replaying the journal).
+	//pdede:guarded-by(mu)
+	sess *core.Session
+	// journal holds every record ever applied, in order.
+	//pdede:guarded-by(mu)
+	journal []isa.Branch
+	// nextSeq is the next batch to APPLY — the exactly-once watermark,
+	// persisted in checkpoints.
+	//pdede:guarded-by(mu)
+	nextSeq uint64
+	// nextAdmit is the next batch to ADMIT to the queue. It runs ahead of
+	// nextSeq by the queued batches and resets to nextSeq after a crash.
+	//pdede:guarded-by(mu)
+	nextAdmit uint64
+	// lastAck caches the ack for batch nextSeq-1, answering retries of the
+	// most recent batch without touching the simulator.
+	//pdede:guarded-by(mu)
+	lastAck BatchAck
+	//pdede:guarded-by(mu)
+	crashes int
+	//pdede:guarded-by(mu)
+	quarantined bool
+	// restored means the on-disk checkpoint has been loaded (or is known
+	// absent); false after shedding so the next request reloads.
+	//pdede:guarded-by(mu)
+	restored bool
+	// wantDigest is the checkpointed result digest, verified once against
+	// the replayed state on the next rebuild.
+	//pdede:guarded-by(mu)
+	wantDigest string
+}
+
+// apply runs one admitted batch to completion: exactly-once dedup, lazy
+// restore/rebuild, the panic-isolated simulator step, journal append, and
+// the ack. It is the only writer of nextSeq.
+func (t *tenant) apply(s *Server, seq uint64, recs []isa.Branch) reply {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.pending.Add(-1)
+	if t.quarantined {
+		return errReply(http.StatusServiceUnavailable, CodeQuarantined, false,
+			"tenant %s is quarantined after %d crashes", t.name, t.crashes)
+	}
+	if seq < t.nextSeq {
+		s.met.duplicates.Add(1)
+		return t.duplicateAckLocked(seq)
+	}
+	if seq != t.nextSeq {
+		// A crash rolled nextAdmit back while this batch sat in the queue;
+		// it cannot apply over the gap. Retryable: once the client
+		// resubmits the missing batch this sequence number admits again.
+		return errReply(http.StatusConflict, CodePending, true,
+			"batch %d is waiting for batch %d", seq, t.nextSeq)
+	}
+	if rep := t.ensureSessionLocked(s); rep != nil {
+		return *rep
+	}
+
+	var hook func()
+	if s.cfg.ApplyHook != nil {
+		h, name := s.cfg.ApplyHook, t.name
+		hook = func() { h(name, seq) }
+	}
+	n, err := protectedApply(t.sess, hook, recs)
+	if err != nil {
+		// The session stepped an unknown number of records before failing;
+		// discard it. The journal still holds the exact pre-batch state,
+		// so the next batch rebuilds from there — the crashing batch was
+		// never applied.
+		t.sess = nil
+		s.resident.Add(-1)
+		t.nextAdmit = t.nextSeq
+		t.crashes++
+		s.met.crashes.Add(1)
+		if t.crashes >= s.cfg.QuarantineAfter {
+			t.quarantined = true
+			s.met.quarantines.Add(1)
+			return errReply(http.StatusServiceUnavailable, CodeQuarantined, false,
+				"tenant %s quarantined after %d crashes (last: %v)", t.name, t.crashes, err)
+		}
+		return errReply(http.StatusInternalServerError, CodeCrashed, false,
+			"batch %d crashed the simulator: %v", seq, err)
+	}
+	t.journal = append(t.journal, recs[:n]...)
+	t.nextSeq = seq + 1
+	ack := t.ackLocked(seq, n)
+	t.lastAck = ack
+	s.met.batches.Add(1)
+	s.met.records.Add(uint64(n))
+	return reply{status: http.StatusOK, ack: &ack}
+}
+
+// protectedApply is the panic-isolation boundary around the simulator: a
+// panicking predictor (or injected test hook) becomes an error confined to
+// this tenant instead of taking the process down.
+func protectedApply(se *core.Session, hook func(), recs []isa.Branch) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if hook != nil {
+		hook()
+	}
+	n, _, err = se.Apply(recs)
+	return n, err
+}
+
+// ackLocked builds the ack for batch seq from the live session state.
+//
+//pdede:guarded-by(mu)
+func (t *tenant) ackLocked(seq uint64, n int) BatchAck {
+	snap := t.sess.Snapshot()
+	return BatchAck{
+		Tenant:       t.name,
+		Seq:          seq,
+		Records:      n,
+		TotalRecords: t.sess.Records(),
+		Instructions: snap.Instructions,
+		MPKI:         snap.BTBMPKI(),
+		IPC:          snap.IPC(),
+		Digest:       ResultDigest(&snap),
+	}
+}
+
+// duplicateAckLocked answers a batch that already applied. The most recent
+// batch replays its cached full ack; older ones get a thin ack (the client
+// already consumed their state long ago).
+//
+//pdede:guarded-by(mu)
+func (t *tenant) duplicateAckLocked(seq uint64) reply {
+	if seq == t.nextSeq-1 && t.lastAck.Seq == seq {
+		ack := t.lastAck
+		ack.Duplicate = true
+		ack.Records = 0
+		return reply{status: http.StatusOK, ack: &ack}
+	}
+	return reply{status: http.StatusOK, ack: &BatchAck{Tenant: t.name, Seq: seq, Duplicate: true}}
+}
+
+// restoreLocked loads t's on-disk checkpoint the first time the tenant is
+// touched after process start or shedding. A missing file means a fresh
+// tenant; a checkpoint written under a different configuration is refused
+// (the journal would replay into a different simulator).
+//
+//pdede:guarded-by(mu)
+func (t *tenant) restoreLocked(s *Server) *reply {
+	if t.restored {
+		return nil
+	}
+	if s.cfg.CheckpointDir == "" {
+		t.restored = true
+		return nil
+	}
+	data, err := os.ReadFile(checkpointPath(s.cfg.CheckpointDir, t.name))
+	if errors.Is(err, fs.ErrNotExist) {
+		t.restored = true
+		return nil
+	}
+	if err != nil {
+		rep := errReply(http.StatusInternalServerError, CodeInternal, true,
+			"reading checkpoint for %s: %v", t.name, err)
+		return &rep
+	}
+	ck, recs, err := decodeCheckpoint(data, s.digest, t.name)
+	if err != nil {
+		rep := errReply(http.StatusConflict, CodeCheckpoint, false, "%v", err)
+		return &rep
+	}
+	t.journal = recs
+	t.nextSeq = ck.NextSeq
+	t.nextAdmit = ck.NextSeq
+	t.crashes = ck.Crashes
+	t.quarantined = ck.Quarantined
+	t.wantDigest = ck.ResultDigest
+	t.lastAck = BatchAck{}
+	t.restored = true
+	s.met.restores.Add(1)
+	return nil
+}
+
+// ensureSessionLocked (re)builds t's simulator by replaying the journal
+// through a fresh core.Session, then verifies the replayed state against
+// the checkpointed result digest — a corrupted journal or a simulator
+// change slips through the config digest only to be caught here.
+//
+//pdede:guarded-by(mu)
+func (t *tenant) ensureSessionLocked(s *Server) *reply {
+	if t.sess != nil {
+		return nil
+	}
+	se, err := newTenantSession(&s.cfg, t.name)
+	if err != nil {
+		rep := errReply(http.StatusInternalServerError, CodeInternal, false,
+			"building simulator for %s: %v", t.name, err)
+		return &rep
+	}
+	for pos := 0; pos < len(t.journal); {
+		n, _, err := se.Apply(t.journal[pos:])
+		if err != nil {
+			rep := errReply(http.StatusInternalServerError, CodeInternal, false,
+				"replaying journal for %s: %v", t.name, err)
+			return &rep
+		}
+		if n == 0 {
+			break
+		}
+		pos += n
+	}
+	if t.wantDigest != "" {
+		snap := se.Snapshot()
+		if got := ResultDigest(&snap); got != t.wantDigest {
+			rep := errReply(http.StatusConflict, CodeCheckpoint, false,
+				"replayed state digest %s does not match checkpointed %s for %s",
+				got, t.wantDigest, t.name)
+			return &rep
+		}
+		t.wantDigest = ""
+	}
+	t.sess = se
+	if t.nextSeq > 1 {
+		t.lastAck = t.ackLocked(t.nextSeq-1, 0)
+	}
+	s.resident.Add(1)
+	return nil
+}

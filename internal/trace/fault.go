@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/isa"
 )
@@ -39,10 +40,35 @@ type FaultPlan struct {
 	// CorruptDeltaAt delivers this record with a garbage target and a zero
 	// block length, modelling a corrupted delta field.
 	CorruptDeltaAt uint64
+	// StallAt sleeps for StallFor before yielding this record, modelling a
+	// slow or stalling client: the stream is correct but late. When
+	// StallEvery is non-zero the stall repeats every StallEvery records
+	// after StallAt (a persistently slow link rather than one hiccup).
+	// StallFor <= 0 disables the stall regardless of StallAt.
+	StallAt    uint64
+	StallEvery uint64
+	StallFor   time.Duration
+	// EOFAt ends the stream with a clean io.EOF at this record, modelling
+	// a client that dies after flushing a well-formed prefix — unlike
+	// TruncateAt, the consumer cannot tell this short stream from a
+	// complete one, so detection has to happen at a higher layer (record
+	// counts, sequence acks).
+	EOFAt uint64
 	// LoopForever restarts the underlying source on EOF so the stream
 	// never ends, modelling a hung or runaway reader; only a deadline
 	// stops the consumer.
 	LoopForever bool
+}
+
+// stalls reports whether record pos triggers a stall under p.
+func (p *FaultPlan) stalls(pos uint64) bool {
+	if p.StallFor <= 0 || p.StallAt == 0 || pos < p.StallAt {
+		return false
+	}
+	if pos == p.StallAt {
+		return true
+	}
+	return p.StallEvery != 0 && (pos-p.StallAt)%p.StallEvery == 0
 }
 
 // FaultSource wraps a Source, injecting the faults of Plan into every
@@ -78,12 +104,19 @@ type FaultReader struct {
 	Plan FaultPlan
 
 	pos    uint64
+	eof    bool          // EOFAt fired: the stream has ended for good
 	reopen func() Reader // for LoopForever; nil restarts nothing
 }
 
 // Next implements Reader.
 func (r *FaultReader) Next() (isa.Branch, error) {
+	if r.eof {
+		return isa.Branch{}, io.EOF
+	}
 	r.pos++
+	if r.Plan.stalls(r.pos) {
+		time.Sleep(r.Plan.StallFor)
+	}
 	switch p := &r.Plan; r.pos {
 	case p.PanicAt:
 		panic(fmt.Sprintf("trace: injected panic at record %d of %T", r.pos, r.R))
@@ -91,6 +124,9 @@ func (r *FaultReader) Next() (isa.Branch, error) {
 		return isa.Branch{}, fmt.Errorf("trace: injected fault at record %d: %w", r.pos, ErrTransient)
 	case p.TruncateAt:
 		return isa.Branch{}, fmt.Errorf("trace: injected truncation at record %d: %w", r.pos, io.ErrUnexpectedEOF)
+	case p.EOFAt:
+		r.eof = true
+		return isa.Branch{}, io.EOF
 	}
 	b, err := r.R.Next()
 	if errors.Is(err, io.EOF) && r.Plan.LoopForever && r.reopen != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/isa"
 )
@@ -101,4 +102,86 @@ func TestFaultReaderPanicAt(t *testing.T) {
 	}()
 	r := &FaultReader{R: sampleTrace().Open(), Plan: FaultPlan{PanicAt: 1}}
 	r.Next()
+}
+
+func TestFaultReaderStall(t *testing.T) {
+	m := sampleTrace()
+	const d = 30 * time.Millisecond
+	r := &FaultReader{R: m.Open(), Plan: FaultPlan{StallAt: 2, StallFor: d}}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatalf("stalled record should still arrive: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("record 2 arrived after %v, want >= %v", elapsed, d)
+	}
+	if b != m.Records[1] {
+		t.Fatalf("stall corrupted record: %+v vs %+v", b, m.Records[1])
+	}
+	// Stream content is unchanged: only latency was injected.
+	got, err := Collect("rest", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(m.Records)-2 {
+		t.Fatalf("stall dropped records: got %d more, want %d", len(got.Records), len(m.Records)-2)
+	}
+}
+
+func TestFaultReaderStallEvery(t *testing.T) {
+	m := sampleTrace()
+	const d = 10 * time.Millisecond
+	plan := FaultPlan{StallAt: 1, StallEvery: 2, StallFor: d}
+	// Records 1, 3, 5, ... stall; total latency ≥ ceil(n/2)·d.
+	n := len(m.Records)
+	start := time.Now()
+	got, err := Collect("all", &FaultReader{R: m.Open(), Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != n {
+		t.Fatalf("stall-every dropped records: %d vs %d", len(got.Records), n)
+	}
+	want := time.Duration((n+1)/2) * d
+	if elapsed := time.Since(start); elapsed < want {
+		t.Fatalf("stream completed in %v, want >= %v for %d stalls", elapsed, want, (n+1)/2)
+	}
+}
+
+func TestFaultReaderStallDisabledWithoutDuration(t *testing.T) {
+	// StallAt without StallFor must be a no-op, not a zero-length sleep
+	// on a hot path position.
+	m := sampleTrace()
+	got, err := Collect("all", &FaultReader{R: m.Open(), Plan: FaultPlan{StallAt: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(m.Records) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(m.Records))
+	}
+}
+
+func TestFaultReaderCleanEOF(t *testing.T) {
+	m := sampleTrace()
+	r := &FaultReader{R: m.Open(), Plan: FaultPlan{EOFAt: 3}}
+	got, err := Collect("short", r)
+	if err != nil {
+		t.Fatalf("clean truncation must look like a normal end of stream: %v", err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("EOFAt 3 yielded %d records, want 2", len(got.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != m.Records[i] {
+			t.Fatalf("record %d differs before the cut", i)
+		}
+	}
+	// The end is sticky: reading past it never resumes the stream.
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past EOFAt = %v, want io.EOF", err)
+	}
 }
