@@ -20,7 +20,7 @@ FUZZTIME ?= 15s
 # Benchmark-and-regression harness (cmd/pdede-bench): BENCH_BASELINE is the
 # committed reference report, BENCH_TOLERANCE the allowed per-design
 # records/sec loss, BENCH_OUT where the fresh report lands.
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_TOLERANCE ?= 8%
 BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 
@@ -32,11 +32,16 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Packages run under the race detector by `make race`. One variable instead
 # of a hardcoded list in the recipe, so new concurrent packages are added
 # here (and CI picks them up automatically).
-RACE_PKGS ?= ./internal/experiments/... ./internal/trace/... ./internal/core/... ./internal/oracle/... ./internal/serve/...
+RACE_PKGS ?= ./internal/experiments/... ./internal/trace/... ./internal/core/... ./internal/oracle/... ./internal/serve/... ./internal/cache/... ./internal/predictor/...
 
 # Tenant count for the acceptance-scale chaos run (`make serve-load`). The
 # plain test suite runs the same scenario at a modest tenant count.
 SERVE_LOAD_TENANTS ?= 1000
+
+# Worker count for the `make check-deep` differential sweep: both the app
+# subtests and the per-design subtests run in parallel, so the sweep's
+# wall clock scales with this (results are identical for every value).
+CHECK_DEEP_WORKERS ?= $(shell nproc 2>/dev/null || echo 4)
 
 .PHONY: build test vet lint race fuzz cover bench serve-load check check-deep
 
@@ -95,13 +100,14 @@ cover:
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
 		|| { echo "cover: FAIL — below $(COVER_MIN)%"; exit 1; }
 
-# Throughput benchmark: run the fixed (designs × apps × models) matrix and
-# compare against the committed baseline, failing on regressions beyond
-# BENCH_TOLERANCE. To refresh the baseline after an intentional perf change:
-#   make bench BENCH_OUT=BENCH_PR5.json BENCH_TOLERANCE=99%
-# then review and commit the new BENCH_PR5.json.
+# Throughput benchmark: run the fixed (designs × apps × models) matrix —
+# plus the suite runner's worker-scaling curve — and compare against the
+# committed baseline, failing on regressions beyond BENCH_TOLERANCE. To
+# refresh the baseline after an intentional perf change:
+#   make bench BENCH_OUT=BENCH_PR7.json BENCH_TOLERANCE=99%
+# then review and commit the new BENCH_PR7.json.
 bench: build
-	$(GO) run ./cmd/pdede-bench -q -o $(BENCH_OUT) -baseline $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
+	$(GO) run ./cmd/pdede-bench -q -scaling -o $(BENCH_OUT) -baseline $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)
 
 # Acceptance-scale chaos run against pdede-serve: SERVE_LOAD_TENANTS
 # synthetic tenants with stalling/truncating uploads and one mid-run
@@ -116,7 +122,8 @@ check: vet test race cover
 # Differential-oracle sweep at depth: every registered design runs in
 # lockstep with its unbounded reference oracle over 8 catalog apps with
 # periodic invariant audits. Semantic divergences and audit failures fail
-# the target; capacity/aliasing divergences are legal and logged.
+# the target; capacity/aliasing divergences are legal and logged. The
+# (app, design) subtests run CHECK_DEEP_WORKERS-wide.
 check-deep: build
-	CHECK_DEEP_APPS=8 $(GO) test ./internal/oracle/ -run TestCheckDeep -v -timeout 30m
+	CHECK_DEEP_APPS=8 $(GO) test ./internal/oracle/ -run TestCheckDeep -v -timeout 30m -parallel $(CHECK_DEEP_WORKERS)
 	@echo "check-deep: ok"

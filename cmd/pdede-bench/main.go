@@ -12,6 +12,8 @@
 //	pdede-bench -baseline old.json -tolerance 8%  # custom tolerance
 //	pdede-bench -baseline old.json -compare new.json  # compare two files
 //	                                              # without running anything
+//	pdede-bench -scaling -o BENCH.json            # also record the suite
+//	                                              # runner's worker-scaling curve
 //
 // Exit codes: 0 pass, 1 regression, 2 usage or measurement error.
 package main
@@ -34,6 +36,7 @@ func main() {
 		instrs    = flag.Uint64("instrs", 1_000_000, "trace length per app")
 		warmup    = flag.Uint64("warmup", 400_000, "warmup instructions (unmeasured but simulated)")
 		reps      = flag.Int("reps", 3, "repetitions per matrix cell (fastest wins)")
+		scaling   = flag.Bool("scaling", false, "also measure the suite runner's worker-scaling curve (1/2/4/8 workers) and record it in the report")
 		quiet     = flag.Bool("q", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
@@ -70,6 +73,12 @@ func main() {
 		report, err = perf.Run(spec, progress)
 		if err != nil {
 			fatal(err)
+		}
+		if *scaling {
+			report.Scaling, err = perf.RunScaling(perf.DefaultScalingSpec(), progress)
+			if err != nil {
+				fatal(err)
+			}
 		}
 	}
 

@@ -155,29 +155,13 @@ type sim struct {
 // step processes one dynamic branch record: the basic block ending in it
 // plus the branch's prediction, resolution and cycle accounting.
 func (s *sim) step(b isa.Branch) {
-	p := &s.cfg.Params
 	measuring := s.seen >= s.cfg.WarmupInstrs
 	s.seen += uint64(b.BlockLen)
 	if measuring {
 		s.measured += uint64(b.BlockLen)
 	}
 
-	// --- Instruction fetch for the block [BlockStart, PC]. ICache misses
-	// fill from the L2; code that misses there too pays the longer latency.
-	blockStart := b.PC.Add(-uint64(b.BlockLen-1) * isa.InstrBytes)
-	misses := s.ic.AccessRange(blockStart, b.PC)
-	fillLat := float64(p.ICacheMissLat)
-	if misses > 0 {
-		if l2miss := s.l2.AccessRange(blockStart, b.PC); l2miss > 0 {
-			fillLat = float64(p.L2MissLat)
-		}
-		if measuring {
-			s.res.ICacheMisses += uint64(misses)
-		}
-	}
-	if measuring {
-		s.res.ICacheAccesses++
-	}
+	misses, fillLat, _ := s.fetch(b, measuring)
 
 	// --- Branch prediction unit (lookup, direction, classification,
 	// training) — shared with the pipeline model.
@@ -186,6 +170,41 @@ func (s *sim) step(b isa.Branch) {
 		s.bpu.note(s.res, b, pr)
 	}
 
+	s.account(b, pr, misses, fillLat, measuring)
+}
+
+// fetch models instruction fetch for the block [BlockStart, PC]. ICache
+// misses fill from the L2; code that misses there too pays the longer
+// latency. It returns the miss count, the fill latency the first miss pays,
+// and whether the fill came from beyond the L2 (recorded by the shared
+// warmup pass so per-design replay can reproduce the latency without
+// re-simulating the caches).
+func (s *sim) fetch(b isa.Branch, measuring bool) (misses int, fillLat float64, l2miss bool) {
+	p := &s.cfg.Params
+	blockStart := b.PC.Add(-uint64(b.BlockLen-1) * isa.InstrBytes)
+	misses = s.ic.AccessRange(blockStart, b.PC)
+	fillLat = float64(p.ICacheMissLat)
+	if misses > 0 {
+		if s.l2.AccessRange(blockStart, b.PC) > 0 {
+			fillLat = float64(p.L2MissLat)
+			l2miss = true
+		}
+		if measuring {
+			s.res.ICacheMisses += uint64(misses)
+		}
+	}
+	if measuring {
+		s.res.ICacheAccesses++
+	}
+	return misses, fillLat, l2miss
+}
+
+// account applies one record's cycle accounting. It is shared verbatim by
+// the cold path (step) and the warm-replay path (replayStep): the lead and
+// refill recurrences must evolve bit-identically in both, so the arithmetic
+// lives in exactly one place.
+func (s *sim) account(b isa.Branch, pr prediction, misses int, fillLat float64, measuring bool) {
+	p := &s.cfg.Params
 	// --- Cycle accounting (runahead/lead model, see package comment).
 	// The BTB's extra lookup cycle is pipelined: back-to-back lookups
 	// overlap, so steady-state supply is unaffected; the latency is exposed

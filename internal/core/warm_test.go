@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/workload"
+)
+
+// TestWarmStateClonesAreIndependent is the Snapshot/Clone deepness
+// property at the session level: driving one warm session to completion
+// must not perturb the parent WarmState or any sibling clone. Runs of the
+// same design minted from the same warm state — before, between and after
+// runs of a different design — must stay bit-identical, and every run's
+// btb.Auditable census must stay clean (a shared slice leaking between
+// clones corrupts replacement state long before it changes headline IPC).
+func TestWarmStateClonesAreIndependent(t *testing.T) {
+	app := workload.Default()
+	app.Name = "warm-indep"
+	app.Seed = 59
+	_, src, err := workload.Build(app, 90_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Params:       Icelake(),
+		BackendCPI:   app.BackendCPI,
+		WarmupInstrs: 30_000,
+		AuditEvery:   1024, // deep census on every run, same cadence
+	}
+	warm, err := WarmupContext(context.Background(), base, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(entries int) *Result {
+		cfg := base
+		tp, err := btb.NewBaseline(btb.BaselineConfig{Entries: entries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.BTB = tp
+		res, err := RunWarmContext(context.Background(), cfg, src, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := run(1024)
+	other := run(4096) // sibling design mutates its own clones only
+	again := run(1024)
+	if *first != *again {
+		t.Errorf("sibling run perturbed a later clone of the same design:\nfirst: %+v\nagain: %+v", first, again)
+	}
+	if *first == *other {
+		t.Error("different designs produced identical results; clone test is vacuous")
+	}
+	// The parent state itself must still mint pristine clones.
+	final := run(1024)
+	if *first != *final {
+		t.Errorf("parent warm state drifted across runs:\nfirst: %+v\nfinal: %+v", first, final)
+	}
+}
+
+// TestWarmupContextRefusals pins the gate conditions that force a cold
+// fallback at warm-state construction time.
+func TestWarmupContextRefusals(t *testing.T) {
+	app := workload.Default()
+	app.Name = "warm-refuse"
+	app.Seed = 61
+	_, src, err := workload.Build(app, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Params: Icelake(), BackendCPI: app.BackendCPI, WarmupInstrs: 10_000}
+
+	noWarm := base
+	noWarm.WarmupInstrs = 0
+	if _, err := WarmupContext(context.Background(), noWarm, src); err == nil {
+		t.Error("zero warmup window accepted")
+	}
+
+	pollute := base
+	pollute.Params.WrongPathLines = 4
+	if _, err := WarmupContext(context.Background(), pollute, src); err == nil {
+		t.Error("wrong-path pollution accepted: cache state would depend on the BTB")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WarmupContext(ctx, base, src); err == nil {
+		t.Error("cancelled context not observed by the warmup pass")
+	}
+}
+
+// TestWarmStateCoverage pins the warm-prefix boundary: the shared pass
+// consumes exactly the records whose block start lies inside the warmup
+// window (the same measuring test the cold step applies), so replayed
+// sessions cross into the measured window on the same record as cold runs.
+func TestWarmStateCoverage(t *testing.T) {
+	app := workload.Default()
+	app.Name = "warm-bound"
+	app.Seed = 67
+	_, src, err := workload.Build(app, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Params: Icelake(), BackendCPI: app.BackendCPI, WarmupInstrs: 20_000}
+	warm, err := WarmupContext(context.Background(), base, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Instructions() < base.WarmupInstrs {
+		t.Errorf("warm prefix covers %d instructions, want >= %d", warm.Instructions(), base.WarmupInstrs)
+	}
+	if warm.Records() == 0 || uint64(len(warm.recs)) != warm.Records() {
+		t.Errorf("replay log records=%d len(recs)=%d", warm.Records(), len(warm.recs))
+	}
+	// The pass must stop at the boundary, not drain the trace: only the
+	// final record's block may straddle it, so coverage overshoots by less
+	// than one maximal basic block (BlockLen is uint16).
+	if warm.Instructions() >= base.WarmupInstrs+65536 {
+		t.Errorf("warm prefix covers %d instructions for a %d window: pass ran past the boundary",
+			warm.Instructions(), base.WarmupInstrs)
+	}
+}

@@ -199,3 +199,54 @@ func TestCheckpointAtomicFlush(t *testing.T) {
 		t.Errorf("checkpoint dir holds %d entries, want just the checkpoint", len(entries))
 	}
 }
+
+// TestCheckpointFlushOrderIndependent is the regression test for the
+// sequential-runner assumption the parallel executor broke: apps now
+// finish — and Record — in scheduler order, not catalog order, so the
+// on-disk document must be a pure function of the recorded *set*. That is
+// enforced twice in flushLocked: app entries are emitted in sorted name
+// order, and each entry's design map is serialized by encoding/json,
+// which sorts map keys. Two checkpoints fed the same records in opposite,
+// interleaved orders must therefore be byte-identical.
+func TestCheckpointFlushOrderIndependent(t *testing.T) {
+	dir := t.TempDir()
+	res := func(app, design string, cyc float64) map[string]*core.Result {
+		return map[string]*core.Result{design: {App: app, Design: design, Instructions: 900, Cycles: cyc}}
+	}
+	record := func(t *testing.T, c *Checkpoint, app, design string, cyc float64) {
+		t.Helper()
+		if err := c.Record(app, res(app, design, cyc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fwd, err := LoadCheckpoint(filepath.Join(dir, "fwd.ckpt"), ckptMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, fwd, "alpha", "d1", 100)
+	record(t, fwd, "alpha", "d2", 110)
+	record(t, fwd, "beta", "d1", 200)
+	record(t, fwd, "gamma", "d2", 310)
+
+	rev, err := LoadCheckpoint(filepath.Join(dir, "rev.ckpt"), ckptMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(t, rev, "gamma", "d2", 310)
+	record(t, rev, "beta", "d1", 200)
+	record(t, rev, "alpha", "d2", 110)
+	record(t, rev, "alpha", "d1", 100)
+
+	a, err := os.ReadFile(filepath.Join(dir, "fwd.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "rev.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("flush order leaked into the checkpoint document:\nfwd:\n%s\nrev:\n%s", a, b)
+	}
+}

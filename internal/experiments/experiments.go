@@ -66,7 +66,7 @@ func (r *Runner) CharacterizeSuite() ([]AppChar, error) {
 	out := make([]AppChar, len(apps))
 	errs := make([]error, len(apps))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.Opts.Parallelism)
+	sem := make(chan struct{}, r.Opts.Workers)
 	for i := range apps {
 		wg.Add(1)
 		go func(i int) {

@@ -38,8 +38,23 @@ type Options struct {
 	// invariants every N records during simulation (core.Config.AuditEvery)
 	// and fails the (app, design) run on the first violation.
 	SelfCheckEvery uint64
-	// Parallelism bounds concurrent app simulations (0 = GOMAXPROCS).
+	// Workers sizes the pool that executes every unit of heavy work —
+	// trace builds, shared warmup passes, and (app, design) simulation
+	// cells (0 = Parallelism, then GOMAXPROCS). Cell outcomes are reduced
+	// in fixed suite order, so reports, goldens, checkpoints and Suite.Err
+	// are bit-identical for every worker count.
+	Workers int
+	// Parallelism is the historical name for Workers. It is consulted only
+	// when Workers is 0, and normalized() rewrites it to match Workers so
+	// old readers keep seeing the effective bound.
 	Parallelism int
+	// ColdStart disables warm-state sharing: every (app, design) cell then
+	// simulates its own warmup prefix from cold, as the sequential runner
+	// always did. By default one warmup pass per app is shared across all
+	// compatible designs (see core.WarmState); the differential oracle and
+	// TestWarmCloneOracle prove the shared path bit-identical, so this
+	// knob exists for cross-checking, not correctness.
+	ColdStart bool
 
 	// AppTimeout bounds one app's wall-clock budget across all its designs
 	// and retries (0 = no deadline). A timed-out app is recorded as failed
@@ -113,9 +128,13 @@ func (o Options) normalized() Options {
 	if o.WarmupInstrs >= o.TotalInstrs {
 		o.WarmupInstrs = o.TotalInstrs / 2
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
+	if o.Workers <= 0 {
+		o.Workers = o.Parallelism
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	o.Parallelism = o.Workers
 	if o.Retries < 0 {
 		o.Retries = 0
 	}
@@ -267,6 +286,49 @@ type PanicError struct {
 // Error implements error.
 func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
 
+// pool is the shared work-stealing executor: a fixed set of workers
+// draining one unbuffered job queue. Every unit of heavy work in a suite
+// run — trace builds, shared warmup passes, (app, design) simulation
+// cells — is a job, so total CPU concurrency is bounded by the worker
+// count no matter how many apps are in flight. Jobs are leaves: a job
+// never submits another job and waits on it, so the pool cannot deadlock.
+// With one worker, jobs run strictly in submission order, which makes the
+// Workers=1 schedule the sequential runner's schedule exactly.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues f; it blocks until a worker accepts the job.
+func (p *pool) submit(f func()) { p.jobs <- f }
+
+// run executes f on a worker and waits for it to finish.
+func (p *pool) run(f func()) {
+	done := make(chan struct{})
+	p.jobs <- func() { defer close(done); f() }
+	<-done
+}
+
+// close shuts the queue and waits for the workers to drain.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
 // Runner executes suites.
 type Runner struct {
 	Opts Options
@@ -356,9 +418,18 @@ func (r *Runner) Run(designs []Design) (*Suite, error) {
 	return r.RunContext(r.baseCtx(), designs)
 }
 
-// RunContext executes every design over the selected apps. Traces are
-// built once per app and reused across designs, then discarded (the full
-// suite's traces would not fit in memory simultaneously).
+// RunContext executes every design over the selected apps on a shared
+// pool of Opts.Workers workers. Traces are built once per app and reused
+// across that app's design cells, then discarded (the full suite's traces
+// would not fit in memory simultaneously). When the base configuration
+// permits (see core.WarmupCompatible), the warmup prefix is also simulated
+// once per app and cloned into each compatible design's run instead of
+// being re-simulated per cell.
+//
+// Every (app, design) pair is an independent job, so designs of one app
+// run concurrently; cell outcomes are reduced in fixed design order, which
+// keeps results, reports, checkpoints and error text bit-identical for
+// every worker count.
 //
 // Each app runs isolated: panics become per-app errors, AppTimeout bounds
 // its wall clock, and retryable failures are re-attempted up to
@@ -392,27 +463,34 @@ func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, erro
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	workers := newPool(r.Opts.Workers)
+	defer workers.close()
+
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		firstEr error
 	)
-	sem := make(chan struct{}, r.Opts.Parallelism)
+	// appSem bounds how many apps are in flight at once. Orchestrator
+	// goroutines below do no heavy work themselves — they feed jobs to the
+	// pool — but capping them keeps per-app trace memory bounded and leaves
+	// apps beyond the cap Unstarted when the run is cancelled early.
+	appSem := make(chan struct{}, r.Opts.Workers)
 	for i := range apps {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			select {
-			case sem <- struct{}{}:
+			case appSem <- struct{}{}:
 			case <-runCtx.Done():
 				mu.Lock()
 				suite.Apps[i] = AppResult{App: apps[i], Err: runCtx.Err()}
 				mu.Unlock()
 				return
 			}
-			defer func() { <-sem }()
+			defer func() { <-appSem }()
 
-			res := r.runApp(runCtx, apps[i], designs, ckpt)
+			res := r.runApp(runCtx, workers, apps[i], designs, ckpt)
 			if res.Err == nil && !res.Skipped {
 				r.logf("runner: app %s ok (%d designs, %d attempt(s))",
 					apps[i].Name, len(res.Results), res.Attempts)
@@ -463,12 +541,14 @@ func (r *Runner) RunContext(ctx context.Context, designs []Design) (*Suite, erro
 // retries, a per-app deadline and panic isolation. It always returns a
 // populated AppResult (never a zero value): on failure Err is set and
 // Results holds the designs that did complete.
-func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Design, ckpt *Checkpoint) AppResult {
+func (r *Runner) runApp(ctx context.Context, workers *pool, app workload.Config, designs []Design, ckpt *Checkpoint) AppResult {
 	out := AppResult{App: app, Results: make(map[string]*core.Result, len(designs))}
+	restored := make(map[string]bool, len(designs))
 	if ckpt != nil {
 		for _, d := range designs {
 			if res, ok := ckpt.Done(app.Name, d.Name); ok {
 				out.Results[d.Name] = res
+				restored[d.Name] = true
 			}
 		}
 		if len(out.Results) == len(designs) {
@@ -497,7 +577,7 @@ func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Desi
 
 	for attempt := 1; ; attempt++ {
 		out.Attempts = attempt
-		err := r.runAppOnce(appCtx, app, designs, out.Results)
+		err := r.runAppOnce(appCtx, workers, app, designs, out.Results)
 		if err == nil {
 			out.Err = nil
 			for _, d := range designs {
@@ -507,6 +587,7 @@ func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Desi
 		}
 		out.Err = err
 		if appCtx.Err() != nil || attempt > r.Opts.Retries || !r.Opts.retryable(err) {
+			pruneResults(designs, restored, out.Results)
 			return out
 		}
 		r.logf("runner: app %s attempt %d failed (%v), retrying", app.Name, attempt, err)
@@ -517,47 +598,171 @@ func (r *Runner) runApp(ctx context.Context, app workload.Config, designs []Desi
 			case <-appCtx.Done():
 				t.Stop()
 				out.Err = appCtx.Err()
+				pruneResults(designs, restored, out.Results)
 				return out
 			}
 		}
 	}
 }
 
-// runAppOnce is a single attempt: build the trace, then run every design
-// not already in done (filled in by checkpoint restore or earlier
-// attempts). Panics anywhere below — workload generation, predictor
-// construction, the core models — are recovered into *PanicError.
-func (r *Runner) runAppOnce(ctx context.Context, app workload.Config, designs []Design, done map[string]*core.Result) (err error) {
-	defer func() {
-		if v := recover(); v != nil {
-			err = &PanicError{Value: v, Stack: debug.Stack()}
+// pruneResults restores the sequential runner's failure semantics on a
+// parallel result map. Cells run concurrently, so when design k fails,
+// designs after k may already have succeeded — results a sequential run
+// (which stops at the first failing design) would never have produced.
+// Dropping every non-checkpointed success past the first missing design
+// makes the surviving result set — and hence checkpoint files and reports
+// — bit-identical for every worker count. Successes are only pruned on
+// the app's final (failed) return: across retries the full done map is
+// kept so completed designs are not re-simulated.
+func pruneResults(designs []Design, restored map[string]bool, done map[string]*core.Result) {
+	minMissing := len(designs)
+	for i := range designs {
+		if _, ok := done[designs[i].Name]; !ok {
+			minMissing = i
+			break
 		}
-	}()
+	}
+	for i := minMissing + 1; i < len(designs); i++ {
+		if name := designs[i].Name; !restored[name] {
+			delete(done, name)
+		}
+	}
+}
+
+// runAppOnce is a single attempt: build the trace, optionally run the
+// shared warmup pass, then fan every design not already in done (filled
+// in by checkpoint restore or earlier attempts) out to the worker pool as
+// one simulation cell each. Cell outcomes are reduced in design order:
+// every success is recorded so a retry never re-simulates it, and the
+// error of the earliest failing design is returned — the same design a
+// sequential attempt would have stopped at. Panics anywhere below —
+// workload generation, the warmup pass, predictor construction, the core
+// models — are recovered into *PanicError inside the job that hit them.
+func (r *Runner) runAppOnce(ctx context.Context, workers *pool, app workload.Config, designs []Design, done map[string]*core.Result) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	tr, err := r.buildTrace(app)
-	if err != nil {
-		return fmt.Errorf("build: %w", err)
+
+	var (
+		tr       trace.Source
+		buildErr error
+	)
+	workers.run(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				buildErr = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		tr, buildErr = r.buildTrace(app)
+	})
+	if buildErr != nil {
+		return fmt.Errorf("build: %w", buildErr)
 	}
+
+	var pending []*Design
 	for i := range designs {
-		d := &designs[i]
-		if _, ok := done[d.Name]; ok {
+		if _, ok := done[designs[i].Name]; !ok {
+			pending = append(pending, &designs[i])
+		}
+	}
+
+	// Shared warmup: one pass over the warm prefix, cloned into every
+	// compatible cell. Only worth a reader open when at least two pending
+	// designs can reuse it — below that the pass is pure overhead, and
+	// skipping it keeps single-design resumes at one open per attempt.
+	var warm *core.WarmState
+	if !r.Opts.ColdStart && r.Opts.WarmupInstrs > 0 && r.warmEligible(app, pending) >= 2 {
+		var warmErr error
+		workers.run(func() {
+			defer func() {
+				if v := recover(); v != nil {
+					warmErr = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+			}()
+			warm, warmErr = core.WarmupContext(ctx, r.baseConfig(app), tr)
+		})
+		if warmErr != nil {
+			return fmt.Errorf("warmup: %w", warmErr)
+		}
+	}
+
+	type cell struct {
+		res *core.Result
+		err error
+	}
+	outs := make([]cell, len(pending))
+	var wg sync.WaitGroup
+	for k := range pending {
+		k := k
+		wg.Add(1)
+		workers.submit(func() {
+			defer wg.Done()
+			outs[k].res, outs[k].err = r.runOne(ctx, app, tr, pending[k], warm)
+		})
+	}
+	wg.Wait()
+
+	var firstErr error
+	for k := range pending {
+		if outs[k].err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("design %s: %w", pending[k].Name, outs[k].err)
+			}
 			continue
 		}
-		res, err := r.runOne(ctx, app, tr, d)
-		if err != nil {
-			return fmt.Errorf("design %s: %w", d.Name, err)
-		}
-		done[d.Name] = res
+		done[pending[k].Name] = outs[k].res
 	}
-	return nil
+	return firstErr
 }
 
-// runOne simulates one (app, design) pair. Panics in the predictor
+// baseConfig is the design-independent core configuration every cell of
+// app starts from; Design.Mod specializes a copy per cell.
+func (r *Runner) baseConfig(app workload.Config) core.Config {
+	return core.Config{
+		Params:       core.Icelake(),
+		BackendCPI:   app.BackendCPI,
+		WarmupInstrs: r.Opts.WarmupInstrs,
+		AuditEvery:   r.Opts.SelfCheckEvery,
+	}
+}
+
+// warmEligible counts the pending designs whose modified configuration
+// can reuse a shared warm state for app.
+func (r *Runner) warmEligible(app workload.Config, pending []*Design) int {
+	n := 0
+	for _, d := range pending {
+		if r.probeWarm(app, d) {
+			n++
+		}
+	}
+	return n
+}
+
+// probeWarm reports whether d's configuration passes the warm-state
+// compatibility gate. A panicking Mod reads as incompatible here; the
+// design's own cell will surface the panic as that design's error.
+func (r *Runner) probeWarm(app workload.Config, d *Design) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	base := r.baseConfig(app)
+	cfg := base
+	if d.Mod != nil {
+		d.Mod(&cfg)
+	}
+	return core.WarmupCompatible(base, cfg) == nil
+}
+
+// runOne simulates one (app, design) cell. Panics in the predictor
 // constructor, the core models or the trace reader are recovered here so
-// the returned error is attributed to the design that crashed.
-func (r *Runner) runOne(ctx context.Context, app workload.Config, tr trace.Source, d *Design) (_ *core.Result, err error) {
+// the returned error is attributed to the design that crashed. Cells
+// whose configuration is compatible with warm clone its pre-simulated
+// shared state and replay the warm prefix through the design-private fast
+// path; everything else — pipeline-model designs, modified parameters, a
+// cold-start run — simulates from scratch.
+func (r *Runner) runOne(ctx context.Context, app workload.Config, tr trace.Source, d *Design, warm *core.WarmState) (_ *core.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Value: v, Stack: debug.Stack()}
@@ -567,18 +772,16 @@ func (r *Runner) runOne(ctx context.Context, app workload.Config, tr trace.Sourc
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{
-		Params:       core.Icelake(),
-		BackendCPI:   app.BackendCPI,
-		BTB:          tp,
-		WarmupInstrs: r.Opts.WarmupInstrs,
-		AuditEvery:   r.Opts.SelfCheckEvery,
-	}
+	cfg := r.baseConfig(app)
+	cfg.BTB = tp
 	if d.Mod != nil {
 		d.Mod(&cfg)
 	}
 	if cfg.UsePipeline {
 		return core.RunPipelineContext(ctx, cfg, tr)
+	}
+	if warm != nil && warm.Compatible(cfg) == nil {
+		return core.RunWarmContext(ctx, cfg, tr, warm)
 	}
 	return core.RunContext(ctx, cfg, tr)
 }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// warmCloneBase returns the canonical base config the suite runner warms
+// with, scaled down for test speed. AuditEvery is set so the periodic
+// btb.Auditable deep checks run on both paths at the same cadence — the
+// differential-oracle guarantee that a warm clone is not just numerically
+// but structurally equivalent to a cold run.
+func warmCloneBase(app workload.Config) core.Config {
+	return core.Config{
+		Params:       core.Icelake(),
+		BackendCPI:   app.BackendCPI,
+		WarmupInstrs: 40_000,
+		AuditEvery:   2048,
+	}
+}
+
+// TestWarmCloneOracle is the warm-state acceptance test: for every design
+// in the registry, a run that clones the shared warm state and replays the
+// prefix through the design-private fast path must produce a Result
+// bit-identical to a cold run of the same (app, design) pair. Result holds
+// only value fields, so == is a full bit comparison.
+func TestWarmCloneOracle(t *testing.T) {
+	app := workload.Default()
+	app.Name = "warm-oracle"
+	app.Seed = 41
+	_, src, err := workload.Build(app, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := warmCloneBase(app)
+	warm, err := core.WarmupContext(context.Background(), base, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range DiffDesigns() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			coldCfg := base
+			tp, err := d.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldCfg.BTB = tp
+			if d.Mod != nil {
+				d.Mod(&coldCfg)
+			}
+			cold, err := core.RunContext(context.Background(), coldCfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			warmCfg := base
+			tp2, err := d.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmCfg.BTB = tp2
+			if d.Mod != nil {
+				d.Mod(&warmCfg)
+			}
+			if err := warm.Compatible(warmCfg); err != nil {
+				t.Fatalf("registry design incompatible with warm clone: %v", err)
+			}
+			got, err := core.RunWarmContext(context.Background(), warmCfg, src, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != *cold {
+				t.Errorf("warm-clone run diverges from cold run:\nwarm: %+v\ncold: %+v", got, cold)
+			}
+		})
+	}
+}
+
+// TestWarmCloneOracleModdedConfigs exercises the compatibility gate's edge
+// configs explicitly: perfect direction, ITTAGE-served indirects, and
+// returns routed through the BTB all reuse the shared warm state (their
+// warmup-visible shared-state traffic is design-independent), while a
+// parameter change or the pipeline model must be refused.
+func TestWarmCloneOracleModdedConfigs(t *testing.T) {
+	app := workload.Default()
+	app.Name = "warm-modded"
+	app.Seed = 43
+	_, src, err := workload.Build(app, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := warmCloneBase(app)
+	warm, err := core.WarmupContext(context.Background(), base, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compatible := []Design{
+		WithPerfectDirection(BaselineDesign("perfect-dir", 1024)),
+		WithITTAGE(BaselineDesign("ittage", 1024)),
+		WithReturnsInBTB(BaselineDesign("returns-in-btb", 1024)),
+	}
+	for _, d := range compatible {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			mk := func() core.Config {
+				cfg := base
+				tp, err := d.New()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.BTB = tp
+				if d.Mod != nil {
+					d.Mod(&cfg)
+				}
+				return cfg
+			}
+			cold, err := core.RunContext(context.Background(), mk(), src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmCfg := mk()
+			if err := warm.Compatible(warmCfg); err != nil {
+				t.Fatalf("expected compatible, got %v", err)
+			}
+			got, err := core.RunWarmContext(context.Background(), warmCfg, src, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got != *cold {
+				t.Errorf("warm-clone run diverges from cold run:\nwarm: %+v\ncold: %+v", got, cold)
+			}
+		})
+	}
+
+	t.Run("incompatible", func(t *testing.T) {
+		scaled := base
+		scaled.Params = core.Icelake().Scale(2)
+		if err := warm.Compatible(scaled); err == nil {
+			t.Error("scaled params accepted by warm clone")
+		}
+		pipe := base
+		pipe.UsePipeline = true
+		if err := warm.Compatible(pipe); err == nil {
+			t.Error("pipeline model accepted by warm clone")
+		}
+		window := base
+		window.WarmupInstrs = base.WarmupInstrs / 2
+		if err := warm.Compatible(window); err == nil {
+			t.Error("different warmup window accepted by warm clone")
+		}
+	})
+}

@@ -59,6 +59,11 @@ func TestCheckDeep(t *testing.T) {
 			for _, d := range designs {
 				d := d
 				t.Run(d.Name, func(t *testing.T) {
+					// Designs of one app run concurrently too (each opens
+					// its own reader from the shared source), so the sweep
+					// scales with -parallel (CHECK_DEEP_WORKERS in make
+					// check-deep), not just with the app count.
+					t.Parallel()
 					tp, err := d.New()
 					if err != nil {
 						t.Fatal(err)

@@ -142,6 +142,12 @@ type Report struct {
 	Spec      Spec    `json:"spec"`
 	Host      Host    `json:"host"`
 	Entries   []Entry `json:"entries"`
+
+	// Scaling is the optional worker-scaling curve of the parallel suite
+	// runner (pdede-bench -scaling). Informational: the comparator gates on
+	// Entries only, since the curve's shape is a property of the host's
+	// core count, not of the code alone.
+	Scaling []ScalingEntry `json:"scaling,omitempty"`
 }
 
 // Lookup returns the entry with the given key.

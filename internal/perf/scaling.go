@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// ScalingEntry is one point of the worker-scaling curve: the wall clock of
+// a fixed suite sweep at a given Options.Workers, and its speedup against
+// the 1-worker (sequential-schedule) point of the same run. Results are
+// bit-identical across the curve — the equivalence suite in
+// internal/experiments proves it — so the curve measures scheduling alone.
+type ScalingEntry struct {
+	Workers int     `json:"workers"`
+	WallNS  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// ScalingSpec fixes the sweep the scaling curve measures.
+type ScalingSpec struct {
+	Apps         int    `json:"apps"`
+	TotalInstrs  uint64 `json:"total_instrs"`
+	WarmupInstrs uint64 `json:"warmup_instrs"`
+	Workers      []int  `json:"workers"`
+}
+
+// DefaultScalingSpec is the committed-baseline curve: the bench design set
+// over 8 sampled apps at 1, 2, 4 and 8 workers. Interpret the measured
+// speedups against the host fingerprint's num_cpu — a 1-core container
+// legitimately reports a flat curve.
+func DefaultScalingSpec() ScalingSpec {
+	return ScalingSpec{
+		Apps:         8,
+		TotalInstrs:  600_000,
+		WarmupInstrs: 250_000,
+		Workers:      []int{1, 2, 4, 8},
+	}
+}
+
+// RunScaling sweeps the bench design set at each worker count and returns
+// the curve. The first measured count is the speedup reference, so specs
+// should list 1 first.
+func RunScaling(spec ScalingSpec, progress Progress) ([]ScalingEntry, error) {
+	if len(spec.Workers) == 0 {
+		spec.Workers = DefaultScalingSpec().Workers
+	}
+	designs := BenchDesigns()
+	out := make([]ScalingEntry, 0, len(spec.Workers))
+	var ref int64
+	for _, workers := range spec.Workers {
+		opts := experiments.Options{
+			Apps:         spec.Apps,
+			TotalInstrs:  spec.TotalInstrs,
+			WarmupInstrs: spec.WarmupInstrs,
+			Workers:      workers,
+		}
+		start := time.Now()
+		suite, err := experiments.NewRunner(opts).Run(designs)
+		wall := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("perf: scaling sweep at %d workers: %w", workers, err)
+		}
+		if n := len(suite.Failed()); n != 0 {
+			return nil, fmt.Errorf("perf: scaling sweep at %d workers: %d apps failed", workers, n)
+		}
+		e := ScalingEntry{Workers: workers, WallNS: wall}
+		if ref == 0 {
+			ref = wall
+		}
+		e.Speedup = float64(ref) / float64(wall)
+		out = append(out, e)
+		if progress != nil {
+			progress("scaling %2d workers %10.2fms  %.2fx\n", workers, float64(wall)/1e6, e.Speedup)
+		}
+	}
+	return out, nil
+}

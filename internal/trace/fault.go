@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/isa"
@@ -72,11 +73,15 @@ func (p *FaultPlan) stalls(pos uint64) bool {
 }
 
 // FaultSource wraps a Source, injecting the faults of Plan into every
-// Reader it opens. It implements Source. Open is not safe for concurrent
-// use (the suite runner opens readers sequentially within one app).
+// Reader it opens. It implements Source. Open and Opens are safe for
+// concurrent use: the parallel suite runner opens one reader per
+// (app, design) cell, and cells of one app run concurrently.
 type FaultSource struct {
-	Src   Source
-	Plan  FaultPlan
+	Src  Source
+	Plan FaultPlan
+
+	mu sync.Mutex
+	//pdede:guarded-by(mu)
 	opens int
 }
 
@@ -85,13 +90,20 @@ func (f *FaultSource) Name() string { return f.Src.Name() }
 
 // Opens reports how many readers have been opened, letting tests assert
 // retry counts.
-func (f *FaultSource) Opens() int { return f.opens }
+func (f *FaultSource) Opens() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opens
+}
 
 // Open implements Source.
 func (f *FaultSource) Open() Reader {
+	f.mu.Lock()
 	f.opens++
+	opens := f.opens
+	f.mu.Unlock()
 	plan := f.Plan
-	if plan.FailAt != 0 && plan.TransientOpens > 0 && f.opens > plan.TransientOpens {
+	if plan.FailAt != 0 && plan.TransientOpens > 0 && opens > plan.TransientOpens {
 		plan.FailAt = 0 // fault has cleared for this and later readers
 	}
 	return &FaultReader{R: f.Src.Open(), Plan: plan, reopen: f.Src.Open}
