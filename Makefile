@@ -82,10 +82,14 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Short coverage-guided fuzz sessions (each seed corpus also runs as a plain
-# test inside `make test`): the trace decoder, the 57-bit VA component
+# test inside `make test`): the v1 trace decoder, the .pdtz v2 round trip,
+# the ChampSim and perf script ingestion adapters, the 57-bit VA component
 # algebra, and PDede's delta encode/decode path.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzDecoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -fuzz FuzzPdtzRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/champsim/ -fuzz FuzzChampSimDecoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/perfscript/ -fuzz FuzzPerfScriptParser -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/addr/ -fuzz FuzzComponentRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/addr/ -fuzz FuzzBuildDecompose -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pdede/ -fuzz FuzzDelta -fuzztime $(FUZZTIME)

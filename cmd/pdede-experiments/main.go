@@ -68,6 +68,10 @@ func run() int {
 		workers = flag.Int("workers", runtime.NumCPU(), "worker pool size for trace builds, warmup passes and (app, design) simulation cells; results are bit-identical for every value")
 		cold    = flag.Bool("cold-start", false, "disable the shared per-app warmup pass; every cell re-simulates its warmup from cold (slower, bit-identical)")
 		verbose = flag.Bool("v", false, "log per-app progress to stderr")
+
+		diffCheck = flag.Bool("check", false, "run the differential oracle over an ingested trace (-trace) for every diff-roster design")
+		traceIn   = flag.String("trace", "", "trace file for -check (pdt, pdtz, champsim, perf; optionally .gz)")
+		traceFrom = flag.String("from", "auto", "trace container format for -trace: auto, pdt, pdtz, champsim, perf")
 	)
 	flag.Parse()
 
@@ -92,6 +96,10 @@ func run() int {
 	}
 	if *verbose || *keep || *ckpt != "" {
 		opts.Log = os.Stderr
+	}
+
+	if *diffCheck {
+		return runTraceCheck(ctx, *traceIn, *traceFrom)
 	}
 
 	if *dump != "" {

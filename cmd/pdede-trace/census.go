@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	pdedesim "repro"
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// censusMetrics are the Figure 3–8 population statistics that are
+// length-independent (rates, shares and densities — absolute counts scale
+// with trace length and would not compare across suites).
+var censusMetrics = []struct {
+	name string
+	unit string
+	get  func(c *analysis.Characterization) float64
+}{
+	{"dynamic taken rate", "%", func(c *analysis.Characterization) float64 { return 100 * c.DynTakenRate() }},
+	{"cond share (taken)", "%", func(c *analysis.Characterization) float64 { return 100 * c.ClassShare(isa.ClassCondDirect) }},
+	{"uncond share (taken)", "%", func(c *analysis.Characterization) float64 { return 100 * c.ClassShare(isa.ClassUncondDirect) }},
+	{"indirect share (taken)", "%", func(c *analysis.Characterization) float64 { return 100 * c.ClassShare(isa.ClassIndirect) }},
+	{"return share (taken)", "%", func(c *analysis.Characterization) float64 { return 100 * c.ClassShare(isa.ClassReturn) }},
+	{"unique targets / taken PCs", "%", func(c *analysis.Characterization) float64 { t, _, _, _ := c.UniqueShare(); return 100 * t }},
+	{"unique pages / targets", "%", func(c *analysis.Characterization) float64 { _, _, p, _ := c.UniqueShare(); return 100 * p }},
+	{"unique regions / targets", "%", func(c *analysis.Characterization) float64 { _, r, _, _ := c.UniqueShare(); return 100 * r }},
+	{"targets per page", "", func(c *analysis.Characterization) float64 { return c.TargetsPerPage() }},
+	{"targets per region", "", func(c *analysis.Characterization) float64 { return c.TargetsPerRegion() }},
+	{"same-page rate (dynamic)", "%", func(c *analysis.Characterization) float64 { return 100 * c.DynSamePageRate() }},
+}
+
+// runCensus re-runs the paper's branch-population census on tr and prints it
+// next to the synthetic suite's distribution, as a markdown table ready for
+// EXPERIMENTS.md. The suite side samples `apps` catalog applications (0 =
+// all) at `instrs` instructions each.
+func runCensus(tr *trace.Memory, apps int, instrs uint64) error {
+	got, err := analysis.Characterize(tr.Open())
+	if err != nil {
+		return fmt.Errorf("census: characterizing %s: %w", tr.TraceName, err)
+	}
+
+	catalog := pdedesim.Catalog()
+	if apps > 0 && apps < len(catalog) {
+		// Evenly-strided sample keeps every category represented.
+		sampled := make([]pdedesim.App, 0, apps)
+		for i := 0; i < apps; i++ {
+			sampled = append(sampled, catalog[i*len(catalog)/apps])
+		}
+		catalog = sampled
+	}
+	suite := make([]*analysis.Characterization, 0, len(catalog))
+	for _, app := range catalog {
+		t, err := pdedesim.BuildTrace(app, instrs)
+		if err != nil {
+			return fmt.Errorf("census: building %s: %w", app.Name, err)
+		}
+		c, err := analysis.Characterize(t.Open())
+		if err != nil {
+			return fmt.Errorf("census: characterizing %s: %w", app.Name, err)
+		}
+		suite = append(suite, c)
+	}
+
+	fmt.Printf("\npopulation census: %s vs %d-app synthetic suite (%d instrs/app)\n\n",
+		tr.TraceName, len(suite), instrs)
+	fmt.Printf("| %-26s | %9s | %9s | %9s | %9s |\n", "metric", tr.TraceName, "suite min", "suite med", "suite max")
+	fmt.Printf("|%s|%s|%s|%s|%s|\n", dashes(28), dashes(11), dashes(11), dashes(11), dashes(11))
+	for _, m := range censusMetrics {
+		vals := make([]float64, len(suite))
+		for i, c := range suite {
+			vals[i] = m.get(c)
+		}
+		sort.Float64s(vals)
+		fmt.Printf("| %-26s | %9s | %9s | %9s | %9s |\n",
+			m.name,
+			cell(m.get(got), m.unit),
+			cell(vals[0], m.unit),
+			cell(vals[len(vals)/2], m.unit),
+			cell(vals[len(vals)-1], m.unit))
+	}
+	return nil
+}
+
+func cell(v float64, unit string) string {
+	return fmt.Sprintf("%.1f%s", v, unit)
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,55 +1,77 @@
-// Command pdede-trace generates, inspects and exports synthetic branch
-// traces.
+// Command pdede-trace generates, inspects, converts and exports branch
+// traces — synthetic or ingested from real-machine capture formats.
 //
 // Usage:
 //
 //	pdede-trace -app Browser-wasm-runtime -stats
-//	pdede-trace -app Server-oltp-primary -o oltp.pdt     # write binary trace
-//	pdede-trace -i oltp.pdt -stats                       # read it back
+//	pdede-trace -app Server-oltp-primary -o oltp.pdtz    # write v2 trace
+//	pdede-trace -i oltp.pdtz -stats                      # read it back
 //	pdede-trace -app Browser-imaging -dump 20            # show first records
+//
+// Real-trace ingestion (ChampSim binary, perf script LBR text, and the
+// native .pdt/.pdtz codecs, each optionally gzipped; format is sniffed from
+// content, -from pins it):
+//
+//	pdede-trace -i leela.champsimtrace.gz -stats
+//	pdede-trace -i lbr.txt -from perf -o lbr.pdtz        # convert
+//	pdede-trace -i out.pdt -convert pdtz -o out.pdtz     # transcode v1 -> v2
+//	pdede-trace -i leela.champsimtrace.gz -census        # vs synthetic suite
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	pdedesim "repro"
 	"repro/internal/analysis"
 	"repro/internal/isa"
 	"repro/internal/trace"
+	"repro/internal/trace/ingest"
 )
 
 func main() {
 	var (
 		appName = flag.String("app", "", "catalog application to synthesize")
 		instrs  = flag.Uint64("instrs", 3_500_000, "trace length in instructions")
-		out     = flag.String("o", "", "write binary trace to file")
-		in      = flag.String("i", "", "read binary trace from file instead of synthesizing")
+		out     = flag.String("o", "", "write binary trace to file (.pdtz extension selects the v2 codec)")
+		in      = flag.String("i", "", "read a trace file instead of synthesizing (pdt, pdtz, champsim, perf; optionally .gz)")
+		from    = flag.String("from", "auto", "input container format: auto, pdt, pdtz, champsim, perf")
+		convert = flag.String("convert", "", "output codec for -o: pdt or pdtz (default: by -o extension)")
 		stats   = flag.Bool("stats", false, "print §3 characterization")
+		census  = flag.Bool("census", false, "print the §3 census next to the synthetic suite's range")
+		capps   = flag.Int("census-apps", 24, "synthetic apps sampled for the -census comparison (0 = all)")
+		cinstrs = flag.Uint64("census-instrs", 1_000_000, "instructions per synthetic app in the -census comparison")
 		reuse   = flag.Bool("reuse", false, "print the taken-PC reuse-distance profile")
 		dump    = flag.Int("dump", 0, "print the first N records")
 	)
 	flag.Parse()
 
-	var (
-		tr  *trace.Memory
-		err error
-	)
+	var tr *trace.Memory
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
+		format, err := ingest.ParseFormat(*from)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		dec, err := trace.NewDecoder(f)
+		o, err := ingest.Open(*in, format)
 		if err != nil {
 			fatal(err)
 		}
-		tr, err = trace.Collect(dec.Name(), dec)
+		defer o.Close()
+		tr, err = trace.Collect(o.Name(), o.Open())
 		if err != nil {
 			fatal(err)
+		}
+		fmt.Printf("ingested %s as %s\n", *in, o.Format)
+		if st := o.ChampSimStats; st != nil {
+			fmt.Printf("champsim: %d instructions, %d branches (%d unclassifiable), not-taken targets: %d memoized / %d fallthrough\n",
+				st.Instructions, st.Branches, st.Other, st.NotTakenMemo, st.NotTakenFall)
+		}
+		if st := o.PerfStats; st != nil {
+			fmt.Printf("perf: %d lines, %d samples, %d entries (%d skipped, %d untyped)\n",
+				st.Lines, st.Samples, st.Entries, st.Skipped, st.Untyped)
 		}
 	case *appName != "":
 		app, err := pdedesim.AppByName(*appName)
@@ -67,19 +89,35 @@ func main() {
 	fmt.Printf("trace %s: %d records, %d instructions\n", tr.TraceName, len(tr.Records), tr.Instructions())
 
 	if *out != "" {
+		codec := *convert
+		if codec == "" {
+			if strings.HasSuffix(*out, ".pdtz") {
+				codec = "pdtz"
+			} else {
+				codec = "pdt"
+			}
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.Write(f, tr.TraceName, tr.Open()); err != nil {
+		switch codec {
+		case "pdt":
+			err = trace.Write(f, tr.TraceName, tr.Open())
+		case "pdtz":
+			err = trace.WritePdtz(f, tr.TraceName, tr.Open())
+		default:
+			err = fmt.Errorf("unknown -convert codec %q (want pdt or pdtz)", codec)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		st, _ := os.Stat(*out)
-		fmt.Printf("wrote %s (%.1f MB, %.2f bytes/record)\n",
-			*out, float64(st.Size())/1e6, float64(st.Size())/float64(len(tr.Records)))
+		fmt.Printf("wrote %s (%s, %.1f MB, %.2f bytes/record)\n",
+			*out, codec, float64(st.Size())/1e6, float64(st.Size())/float64(len(tr.Records)))
 	}
 
 	if *dump > 0 {
@@ -123,6 +161,11 @@ same-page (dynamic)   %.1f%%
 			c.TargetsPerPage(), c.TargetsPerRegion(),
 			100*c.DynSamePageRate())
 	}
+	if *census {
+		if err := runCensus(tr, *capps, *cinstrs); err != nil {
+			fatal(err)
+		}
+	}
 	if *reuse {
 		u, err := analysis.ReuseProfile(tr.Open())
 		if err != nil {
@@ -135,7 +178,6 @@ same-page (dynamic)   %.1f%%
 			fmt.Printf("LRU miss rate @%5d entries: %.1f%%\n", c, 100*u.MissRateAt(c))
 		}
 	}
-	_ = err
 }
 
 func fatal(err error) {

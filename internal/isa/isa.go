@@ -114,6 +114,26 @@ func (k Kind) Class() Class {
 	}
 }
 
+// MaxBlockLen is the largest basic-block length a Branch can carry.
+// External trace adapters (ChampSim instruction streams, perf/LBR branch
+// stacks) can observe longer branch-free runs — initialization loops,
+// vectorized memsets — and must saturate rather than wrap.
+const MaxBlockLen = 1<<16 - 1
+
+// ClampBlockLen saturates an instruction count into the BlockLen range
+// [1, MaxBlockLen]. Zero-length blocks are illegal (every block contains at
+// least its terminating branch), so 0 clamps up to 1.
+func ClampBlockLen(n uint64) uint16 {
+	switch {
+	case n == 0:
+		return 1
+	case n > MaxBlockLen:
+		return MaxBlockLen
+	default:
+		return uint16(n)
+	}
+}
+
 // Branch is one dynamic control-flow event. A trace is a sequence of Branch
 // records; the sequential instructions between branches are summarised by
 // BlockLen, which makes traces compact while preserving instruction counts

@@ -1,0 +1,300 @@
+// Package champsim ingests ChampSim-style binary instruction traces and
+// converts them to the simulator's branch-record model.
+//
+// ChampSim (the MICRO/CRC-2 simulation infrastructure the PDede paper
+// evaluates with) distributes traces as streams of fixed 64-byte
+// input_instr records, usually xz- or gzip-compressed:
+//
+//	offset  size  field
+//	     0     8  ip                     (uint64 LE)
+//	     8     1  is_branch              (0 or 1)
+//	     9     1  branch_taken           (0 or 1)
+//	    10     2  destination_registers  (uint8 × 2)
+//	    12     4  source_registers       (uint8 × 4)
+//	    16    16  destination_memory     (uint64 LE × 2)
+//	    32    32  source_memory          (uint64 LE × 4)
+//
+// The trace does not carry an explicit branch type or target. Both are
+// reconstructed exactly the way ChampSim itself does:
+//
+//   - the type comes from which architectural registers the instruction
+//     reads and writes (stack pointer, flags, instruction pointer);
+//   - a taken branch's target is the next record's ip;
+//   - a not-taken conditional has no target in the trace, so the decoder
+//     remembers the last taken target per branch PC and falls back to the
+//     modelled fallthrough (pc + isa.InstrBytes) for never-taken branches.
+//
+// The decoder consumes a plain io.Reader — decompression is the caller's
+// seam (see Open in package ingest for the .gz path and the xz guidance).
+package champsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// recordBytes is the fixed size of one input_instr record.
+const recordBytes = 64
+
+// ChampSim's x86 register numbering, as used by its Pin tracer: these three
+// are the only registers its branch classifier looks at.
+const (
+	regStackPointer = 6
+	regFlags        = 25
+	regInstrPointer = 26
+)
+
+// branchType mirrors ChampSim's classification of a writes-ip instruction.
+type branchType uint8
+
+const (
+	branchDirectJump branchType = iota
+	branchIndirect
+	branchConditional
+	branchDirectCall
+	branchIndirectCall
+	branchReturn
+	branchOther // writes ip but matches no known register pattern
+)
+
+// kindOf maps a ChampSim branch type onto the simulator's taxonomy.
+// branchOther falls back to IndirectJump: the pattern is unclassifiable from
+// registers alone (e.g. some far control transfers), and an indirect jump is
+// the weakest assumption a BTB study can make about it. Stats.Other counts
+// how often the fallback fired so a census can judge whether it matters.
+var kindOf = [...]isa.Kind{
+	branchDirectJump:   isa.UncondDirect,
+	branchIndirect:     isa.IndirectJump,
+	branchConditional:  isa.CondDirect,
+	branchDirectCall:   isa.DirectCall,
+	branchIndirectCall: isa.IndirectCall,
+	branchReturn:       isa.Return,
+	branchOther:        isa.IndirectJump,
+}
+
+// Stats summarizes one decoding pass.
+type Stats struct {
+	Instructions int64 // total records consumed, branch or not
+	Branches     int64 // branch records emitted
+	Other        int64 // branches classified branchOther (kind fallback)
+	NotTakenMemo int64 // not-taken conditionals resolved from the taken-target memo
+	NotTakenFall int64 // not-taken conditionals resolved as modelled fallthrough
+}
+
+// Reader decodes a ChampSim instruction stream into isa.Branch records. It
+// implements trace.Reader. Branch emission lags the input by one record
+// because a taken branch's target is the ip of the instruction that follows
+// it.
+type Reader struct {
+	br  io.Reader
+	buf [recordBytes]byte
+
+	rec int64 // records consumed so far (= index of the next record)
+	off int64 // byte offset consumed so far
+
+	pending    pendingBranch
+	hasPending bool
+	sinceBlock uint64 // instructions since the last emitted branch, incl. current
+	lastTarget map[uint64]uint64
+
+	stats Stats
+	err   error // sticky terminal error
+}
+
+type pendingBranch struct {
+	ip    uint64
+	taken bool
+	kind  isa.Kind
+	other bool // classified branchOther
+	block uint64
+	rec   int64 // record index, for errors
+}
+
+// NewReader wraps r, which must yield raw (decompressed) input_instr bytes.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: r, lastTarget: make(map[uint64]uint64)}
+}
+
+// Stats returns decode counters; valid any time, final after io.EOF.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// recErr builds a positioned decode error for the record starting at the
+// given byte offset.
+func (r *Reader) recErr(rec, off int64, format string, args ...any) error {
+	r.err = fmt.Errorf("champsim: record %d at byte offset %d: %s", rec, off, fmt.Sprintf(format, args...))
+	return r.err
+}
+
+// readRecord fills r.buf with the next 64-byte record. A clean boundary
+// returns io.EOF; a partial record is a positioned error.
+func (r *Reader) readRecord() error {
+	n, err := io.ReadFull(r.br, r.buf[:])
+	if err != nil {
+		if errors.Is(err, io.EOF) && n == 0 {
+			return io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return r.recErr(r.rec, r.off, "truncated record: got %d of %d bytes", n, recordBytes)
+		}
+		return r.recErr(r.rec, r.off, "read failed after %d bytes: %v", n, err)
+	}
+	r.rec++
+	r.off += recordBytes
+	return nil
+}
+
+// classify reproduces ChampSim's register-pattern branch typing.
+func classify(buf *[recordBytes]byte) (branchType, bool) {
+	var readsSP, readsFlags, readsIP, readsOther bool
+	for _, reg := range buf[12:16] {
+		switch reg {
+		case 0:
+		case regStackPointer:
+			readsSP = true
+		case regFlags:
+			readsFlags = true
+		case regInstrPointer:
+			readsIP = true
+		default:
+			readsOther = true
+		}
+	}
+	var writesSP, writesIP bool
+	for _, reg := range buf[10:12] {
+		switch reg {
+		case regStackPointer:
+			writesSP = true
+		case regInstrPointer:
+			writesIP = true
+		}
+	}
+	if !writesIP {
+		// A "branch" that does not write the instruction pointer would be
+		// tracer nonsense; the caller turns this into an error.
+		return branchOther, false
+	}
+	// The patterns follow ChampSim's tracer conventions: a call touches the
+	// stack pointer and reads the instruction pointer (direct) or another
+	// register (indirect), while a return reads nothing but the stack
+	// pointer. writesSP disambiguates calls from SP-adjusting jumps.
+	switch {
+	case !readsSP && !readsFlags && readsIP && !readsOther:
+		return branchDirectJump, true
+	case !readsSP && !readsFlags && !readsIP:
+		return branchIndirect, true
+	case !readsSP && readsFlags && readsIP && !readsOther:
+		return branchConditional, true
+	case readsSP && !readsFlags && readsIP && !readsOther && writesSP:
+		return branchDirectCall, true
+	case readsSP && !readsFlags && !readsIP && readsOther && writesSP:
+		return branchIndirectCall, true
+	case readsSP && !readsFlags && !readsIP && !readsOther:
+		return branchReturn, true
+	default:
+		return branchOther, true
+	}
+}
+
+// resolve turns the pending branch plus the following instruction's ip (or
+// the absence of one, at end of trace) into an emitted record.
+func (r *Reader) resolve(nextIP uint64, haveNext bool) isa.Branch {
+	p := r.pending
+	pc := addr.New(p.ip)
+	var target addr.VA
+	switch {
+	case p.taken && haveNext:
+		target = addr.New(nextIP)
+		r.lastTarget[p.ip] = nextIP
+	case p.taken:
+		// Taken branch at the very end of the trace: no successor record to
+		// read the target from. The memo is the best evidence available.
+		if t, ok := r.lastTarget[p.ip]; ok {
+			target = addr.New(t)
+		} else {
+			target = pc.Add(isa.InstrBytes)
+		}
+	default:
+		if t, ok := r.lastTarget[p.ip]; ok {
+			target = addr.New(t)
+			r.stats.NotTakenMemo++
+		} else {
+			target = pc.Add(isa.InstrBytes)
+			r.stats.NotTakenFall++
+		}
+	}
+	r.stats.Branches++
+	if p.other {
+		r.stats.Other++
+	}
+	return isa.Branch{
+		PC:       pc,
+		Target:   target,
+		BlockLen: isa.ClampBlockLen(p.block),
+		Kind:     p.kind,
+		Taken:    p.taken,
+	}
+}
+
+// Next implements trace.Reader: it returns the next branch in the
+// instruction stream, skipping non-branch instructions (they only extend the
+// current basic block).
+func (r *Reader) Next() (isa.Branch, error) {
+	if r.err != nil {
+		return isa.Branch{}, r.err
+	}
+	for {
+		recStart := r.off
+		if err := r.readRecord(); err != nil {
+			if errors.Is(err, io.EOF) {
+				if r.hasPending {
+					r.hasPending = false
+					return r.resolve(0, false), nil
+				}
+				return isa.Branch{}, io.EOF
+			}
+			return isa.Branch{}, err
+		}
+		r.stats.Instructions++
+		r.sinceBlock++
+		ip := binary.LittleEndian.Uint64(r.buf[:8])
+		isBranch, taken := r.buf[8], r.buf[9]
+		if isBranch > 1 {
+			return isa.Branch{}, r.recErr(r.rec-1, recStart, "invalid is_branch flag %#x", isBranch)
+		}
+		if taken > 1 {
+			return isa.Branch{}, r.recErr(r.rec-1, recStart, "invalid branch_taken flag %#x", taken)
+		}
+
+		var out isa.Branch
+		emitted := false
+		if r.hasPending {
+			out = r.resolve(ip, true)
+			emitted = true
+			r.hasPending = false
+		}
+		if isBranch == 1 {
+			bt, ok := classify(&r.buf)
+			if !ok {
+				return isa.Branch{}, r.recErr(r.rec-1, recStart, "is_branch set but instruction does not write the instruction pointer")
+			}
+			r.pending = pendingBranch{
+				ip:    ip,
+				taken: taken == 1,
+				kind:  kindOf[bt],
+				other: bt == branchOther,
+				block: r.sinceBlock,
+				rec:   r.rec - 1,
+			}
+			r.hasPending = true
+			r.sinceBlock = 0
+		}
+		if emitted {
+			return out, nil
+		}
+	}
+}

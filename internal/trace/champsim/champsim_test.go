@@ -1,0 +1,251 @@
+package champsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// rec builds one 64-byte input_instr record. dst and src may be shorter than
+// the on-disk arrays; remaining slots stay zero (ChampSim's "no register").
+func rec(ip uint64, isBranch, taken bool, dst, src []byte) []byte {
+	b := make([]byte, recordBytes)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(ip >> (8 * i))
+	}
+	if isBranch {
+		b[8] = 1
+	}
+	if taken {
+		b[9] = 1
+	}
+	copy(b[10:12], dst)
+	copy(b[12:16], src)
+	return b
+}
+
+// Branch-record builders for each ChampSim register pattern.
+func condBranch(ip uint64, taken bool) []byte {
+	return rec(ip, true, taken, []byte{regInstrPointer}, []byte{regFlags, regInstrPointer})
+}
+func directJump(ip uint64) []byte {
+	return rec(ip, true, true, []byte{regInstrPointer}, []byte{regInstrPointer})
+}
+func indirectJump(ip uint64) []byte {
+	return rec(ip, true, true, []byte{regInstrPointer}, []byte{3})
+}
+func directCall(ip uint64) []byte {
+	return rec(ip, true, true, []byte{regInstrPointer, regStackPointer}, []byte{regStackPointer, regInstrPointer})
+}
+func indirectCall(ip uint64) []byte {
+	return rec(ip, true, true, []byte{regInstrPointer, regStackPointer}, []byte{regStackPointer, 3})
+}
+func ret(ip uint64) []byte {
+	return rec(ip, true, true, []byte{regInstrPointer, regStackPointer}, []byte{regStackPointer})
+}
+func plain(ip uint64) []byte {
+	return rec(ip, false, false, []byte{1}, []byte{2})
+}
+
+func decodeAll(t *testing.T, raw []byte) ([]isa.Branch, *Reader) {
+	t.Helper()
+	r := NewReader(bytes.NewReader(raw))
+	var out []isa.Branch
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, r
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, b)
+	}
+}
+
+// A taken branch's target must come from the successor record's ip, and the
+// block length must count the instructions since the previous branch.
+func TestTakenTargetAndBlockLen(t *testing.T) {
+	var raw []byte
+	raw = append(raw, plain(0x1000)...)
+	raw = append(raw, plain(0x1004)...)
+	raw = append(raw, condBranch(0x1008, true)...)
+	raw = append(raw, plain(0x2000)...) // taken target
+	raw = append(raw, directJump(0x2004)...)
+	raw = append(raw, plain(0x3000)...) // jump target
+
+	got, r := decodeAll(t, raw)
+	want := []isa.Branch{
+		{PC: addr.New(0x1008), Target: addr.New(0x2000), BlockLen: 3, Kind: isa.CondDirect, Taken: true},
+		{PC: addr.New(0x2004), Target: addr.New(0x3000), BlockLen: 2, Kind: isa.UncondDirect, Taken: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d branches, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("branch %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := r.Stats()
+	if st.Instructions != 6 || st.Branches != 2 {
+		t.Errorf("stats = %+v, want 6 instructions / 2 branches", st)
+	}
+}
+
+// Each register pattern must land on its isa.Kind.
+func TestClassifyKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  []byte
+		kind isa.Kind
+	}{
+		{"cond", condBranch(0x10, true), isa.CondDirect},
+		{"direct-jump", directJump(0x10), isa.UncondDirect},
+		{"indirect-jump", indirectJump(0x10), isa.IndirectJump},
+		{"direct-call", directCall(0x10), isa.DirectCall},
+		{"indirect-call", indirectCall(0x10), isa.IndirectCall},
+		{"return", ret(0x10), isa.Return},
+		// writes ip with a pattern no rule matches: flags+other, no ip read
+		{"other", rec(0x10, true, true, []byte{regInstrPointer}, []byte{regFlags, 3}), isa.IndirectJump},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := append(append([]byte{}, tc.rec...), plain(0x99)...)
+			got, r := decodeAll(t, raw)
+			if len(got) != 1 {
+				t.Fatalf("decoded %d branches, want 1", len(got))
+			}
+			if got[0].Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", got[0].Kind, tc.kind)
+			}
+			if tc.name == "other" && r.Stats().Other != 1 {
+				t.Errorf("Stats.Other = %d, want 1", r.Stats().Other)
+			}
+		})
+	}
+}
+
+// A not-taken conditional resolves its target from the last taken visit to
+// the same PC; a never-taken conditional falls through.
+func TestNotTakenTargets(t *testing.T) {
+	var raw []byte
+	raw = append(raw, condBranch(0x1000, true)...)  // taken -> memo[0x1000] = 0x2000
+	raw = append(raw, plain(0x2000)...)             // target
+	raw = append(raw, condBranch(0x1000, false)...) // not taken -> memo hit
+	raw = append(raw, plain(0x1004)...)             // fallthrough
+	raw = append(raw, condBranch(0x5000, false)...) // never taken -> fallthrough
+	raw = append(raw, plain(0x5004)...)
+
+	got, r := decodeAll(t, raw)
+	if len(got) != 3 {
+		t.Fatalf("decoded %d branches, want 3", len(got))
+	}
+	if got[1].Target != addr.New(0x2000) {
+		t.Errorf("memoized not-taken target = %#x, want 0x2000", uint64(got[1].Target))
+	}
+	if want := addr.New(0x5000 + isa.InstrBytes); got[2].Target != want {
+		t.Errorf("fallthrough target = %#x, want %#x", uint64(got[2].Target), uint64(want))
+	}
+	st := r.Stats()
+	if st.NotTakenMemo != 1 || st.NotTakenFall != 1 {
+		t.Errorf("stats = %+v, want 1 memo / 1 fallthrough resolution", st)
+	}
+}
+
+// A taken branch that ends the trace still gets emitted, resolved through
+// the memo when possible.
+func TestPendingBranchAtEOF(t *testing.T) {
+	var raw []byte
+	raw = append(raw, condBranch(0x1000, true)...)
+	raw = append(raw, plain(0x2000)...)
+	raw = append(raw, condBranch(0x1000, true)...) // last record, no successor
+
+	got, _ := decodeAll(t, raw)
+	if len(got) != 2 {
+		t.Fatalf("decoded %d branches, want 2", len(got))
+	}
+	if got[1].Target != addr.New(0x2000) {
+		t.Errorf("EOF branch target = %#x, want memoized 0x2000", uint64(got[1].Target))
+	}
+}
+
+// Malformed streams must fail with the record index and byte offset.
+func TestMalformedRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want []string
+	}{
+		{"truncated", plain(0x10)[:40], []string{"record 0", "byte offset 0", "truncated"}},
+		{"truncated-later", append(plain(0x10), directJump(0x14)[:63]...),
+			[]string{"record 1", "byte offset 64", "truncated"}},
+		{"bad-is-branch", rec(0x10, false, false, nil, nil), nil}, // fixed below
+		{"bad-taken", func() []byte { b := plain(0x10); b[9] = 7; return b }(),
+			[]string{"record 0", "invalid branch_taken"}},
+		{"branch-no-ip-write", rec(0x10, true, true, []byte{1}, []byte{2}),
+			[]string{"record 0", "does not write the instruction pointer"}},
+	}
+	cases[2].raw = func() []byte { b := plain(0x10); b[8] = 2; return b }()
+	cases[2].want = []string{"record 0", "invalid is_branch"}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(tc.raw))
+			var err error
+			for err == nil {
+				_, err = r.Next()
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatal("decode succeeded, want error")
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q missing %q", err, frag)
+				}
+			}
+			// The error must be sticky.
+			if _, err2 := r.Next(); err2 == nil || errors.Is(err2, io.EOF) {
+				t.Error("error did not stick across Next calls")
+			}
+		})
+	}
+}
+
+// FuzzChampSimDecoder feeds arbitrary byte streams through the decoder: it
+// must never panic, and every emitted record must satisfy the isa.Branch
+// invariants.
+func FuzzChampSimDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(plain(0x1000))
+	seed := append(append(append([]byte{}, plain(0x1000)...), condBranch(0x1004, true)...), plain(0x2000)...)
+	f.Add(seed)
+	f.Add(append(append([]byte{}, ret(0x40)...), plain(0x44)...))
+	f.Add(seed[:70])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := NewReader(bytes.NewReader(raw))
+		for {
+			b, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "champsim: record") {
+					t.Fatalf("error without position: %v", err)
+				}
+				return
+			}
+			if b.BlockLen == 0 {
+				t.Fatalf("emitted BlockLen 0: %+v", b)
+			}
+			if b.Kind >= isa.NumKinds {
+				t.Fatalf("emitted invalid kind: %+v", b)
+			}
+			if b.PC != addr.New(uint64(b.PC)) || b.Target != addr.New(uint64(b.Target)) {
+				t.Fatalf("emitted unmasked address: %+v", b)
+			}
+		}
+	})
+}

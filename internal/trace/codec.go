@@ -23,6 +23,11 @@ import (
 //
 // Delta encoding keeps hot loops to a few bytes per record: branch PCs
 // revisit a small working set and targets are usually near their branch.
+//
+// The v2 format ("PDTZ", pdtz.go) keeps the same per-record delta scheme but
+// groups records into independently decodable blocks with a seekable index,
+// trading the v1 stream's byte-at-a-time decode for zero-copy batched decode
+// out of a single mapping.
 const magic = "PDT1"
 
 const (
@@ -31,70 +36,115 @@ const (
 	endOfStream = 0xFF
 )
 
-// Write encodes a full trace to w.
+// countingWriter tracks how many bytes reached the underlying writer, so
+// write-path errors can report where in the output stream they happened.
+type countingWriter struct {
+	w   io.Writer
+	off int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.off += int64(n)
+	return n, err
+}
+
+// Write encodes a full trace to w. Errors — from the source reader or from
+// short writes to w — are annotated with the 0-based record index and the
+// byte offset already flushed to w, so a partial file can be located and
+// truncated precisely.
 func Write(w io.Writer, name string, r Reader) error {
-	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	wpos := func(rec int64) string {
+		return fmt.Sprintf("record %d (flushed through byte %d)", rec, cw.off)
+	}
 	if _, err := bw.WriteString(magic); err != nil {
-		return err
+		return fmt.Errorf("trace: writing magic: %w", err)
 	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(name)))
 	if _, err := bw.Write(buf[:n]); err != nil {
-		return err
+		return fmt.Errorf("trace: writing name length: %w", err)
 	}
 	if _, err := bw.WriteString(name); err != nil {
-		return err
+		return fmt.Errorf("trace: writing name: %w", err)
 	}
 	var prevPC addr.VA
-	for {
+	for rec := int64(0); ; rec++ {
 		b, err := r.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return err
+			return fmt.Errorf("trace: reading %s from source: %w", wpos(rec), err)
 		}
 		flags := byte(b.Kind) << kindShift
 		if b.Taken {
 			flags |= flagTaken
 		}
 		if err := bw.WriteByte(flags); err != nil {
-			return err
+			return fmt.Errorf("trace: writing %s: %w", wpos(rec), err)
 		}
 		n = binary.PutUvarint(buf[:], uint64(b.BlockLen))
 		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+			return fmt.Errorf("trace: writing %s: %w", wpos(rec), err)
 		}
 		n = binary.PutVarint(buf[:], int64(b.PC)-int64(prevPC))
 		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+			return fmt.Errorf("trace: writing %s: %w", wpos(rec), err)
 		}
 		n = binary.PutVarint(buf[:], int64(b.Target)-int64(b.PC))
 		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
+			return fmt.Errorf("trace: writing %s: %w", wpos(rec), err)
 		}
 		prevPC = b.PC
 	}
 	if err := bw.WriteByte(endOfStream); err != nil {
-		return err
+		return fmt.Errorf("trace: writing end-of-stream marker: %w", err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing (%d bytes written): %w", cw.off, err)
+	}
+	return nil
+}
+
+// countingByteReader counts consumed bytes so decode errors can point at the
+// exact stream offset where a field was cut off.
+type countingByteReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.off++
+	}
+	return b, err
+}
+
+func (c *countingByteReader) readFull(p []byte) error {
+	n, err := io.ReadFull(c.br, p)
+	c.off += int64(n)
+	return err
 }
 
 // Decoder reads the binary trace format. It implements Reader.
 type Decoder struct {
-	br     *bufio.Reader
+	br     *countingByteReader
 	name   string
 	prevPC addr.VA
+	rec    int64 // 0-based index of the record Next will decode
 	done   bool
 }
 
 // NewDecoder validates the header and returns a Decoder positioned at the
 // first record.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	br := bufio.NewReader(r)
+	br := &countingByteReader{br: bufio.NewReader(r)}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	if err := br.readFull(head); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if string(head) != magic {
@@ -108,7 +158,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
+	if err := br.readFull(name); err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
 	return &Decoder{br: br, name: string(name)}, nil
@@ -116,6 +166,12 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 
 // Name returns the trace name from the header.
 func (d *Decoder) Name() string { return d.name }
+
+// Offset returns the number of bytes consumed from the underlying stream.
+func (d *Decoder) Offset() int64 { return d.br.off }
+
+// Records returns how many records have been decoded so far.
+func (d *Decoder) Records() int64 { return d.rec }
 
 // unexpectedEOF converts a mid-record EOF into io.ErrUnexpectedEOF so that
 // a truncated stream is never mistaken for a clean end of trace.
@@ -126,6 +182,15 @@ func unexpectedEOF(err error) error {
 	return err
 }
 
+// recErr annotates a mid-record decode failure with the record index and
+// the byte offset the stream was cut at, so a truncated upload or a corrupt
+// file can be diagnosed (and resumed) precisely instead of surfacing as a
+// bare unexpected-EOF.
+func (d *Decoder) recErr(field string, err error) error {
+	return fmt.Errorf("trace: record %d at byte offset %d: %s: %w",
+		d.rec, d.br.off, field, unexpectedEOF(err))
+}
+
 // Next implements Reader.
 func (d *Decoder) Next() (isa.Branch, error) {
 	if d.done {
@@ -133,7 +198,7 @@ func (d *Decoder) Next() (isa.Branch, error) {
 	}
 	flags, err := d.br.ReadByte()
 	if err != nil {
-		return isa.Branch{}, fmt.Errorf("trace: truncated stream: %w", unexpectedEOF(err))
+		return isa.Branch{}, d.recErr("truncated stream", err)
 	}
 	if flags == endOfStream {
 		d.done = true
@@ -141,26 +206,27 @@ func (d *Decoder) Next() (isa.Branch, error) {
 	}
 	kind := isa.Kind(flags >> kindShift)
 	if kind >= isa.NumKinds {
-		return isa.Branch{}, fmt.Errorf("trace: invalid kind %d", kind)
+		return isa.Branch{}, d.recErr("invalid kind", fmt.Errorf("kind %d", kind))
 	}
 	blockLen, err := binary.ReadUvarint(d.br)
 	if err != nil {
-		return isa.Branch{}, fmt.Errorf("trace: reading block length: %w", unexpectedEOF(err))
+		return isa.Branch{}, d.recErr("reading block length", err)
 	}
-	if blockLen == 0 || blockLen > 1<<16-1 {
-		return isa.Branch{}, fmt.Errorf("trace: invalid block length %d", blockLen)
+	if blockLen == 0 || blockLen > isa.MaxBlockLen {
+		return isa.Branch{}, d.recErr("invalid block length", fmt.Errorf("length %d", blockLen))
 	}
 	pcDelta, err := binary.ReadVarint(d.br)
 	if err != nil {
-		return isa.Branch{}, fmt.Errorf("trace: reading pc delta: %w", unexpectedEOF(err))
+		return isa.Branch{}, d.recErr("reading pc delta", err)
 	}
 	targetDelta, err := binary.ReadVarint(d.br)
 	if err != nil {
-		return isa.Branch{}, fmt.Errorf("trace: reading target delta: %w", unexpectedEOF(err))
+		return isa.Branch{}, d.recErr("reading target delta", err)
 	}
 	pc := addr.New(uint64(int64(d.prevPC) + pcDelta))
 	target := addr.New(uint64(int64(pc) + targetDelta))
 	d.prevPC = pc
+	d.rec++
 	return isa.Branch{
 		PC:       pc,
 		Target:   target,
@@ -172,7 +238,8 @@ func (d *Decoder) Next() (isa.Branch, error) {
 
 // NextBatch implements BatchReader: it decodes records back-to-back without
 // re-crossing the Reader interface per record. Decoded records preceding an
-// error are returned alongside it.
+// error are returned alongside it; the error carries the failing record's
+// index and byte offset (see recErr).
 func (d *Decoder) NextBatch(buf []isa.Branch) (int, error) {
 	for i := range buf {
 		b, err := d.Next()

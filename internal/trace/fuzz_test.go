@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/rng"
 )
 
@@ -56,6 +57,86 @@ func FuzzDecoder(f *testing.F) {
 				}
 				dec.Next() // calling again after an error must not crash
 				return
+			}
+		}
+	})
+}
+
+// FuzzPdtzRoundTrip drives the v2 container with arbitrary bytes. Parsing
+// and decoding must never panic and must fail with positioned messages; any
+// input that parses AND decodes cleanly must survive a decode -> re-encode
+// -> re-decode round trip with an identical record stream. Seeds cover
+// valid encodings at several sizes plus the corruption styles the decoder's
+// fault paths guard against.
+func FuzzPdtzRoundTrip(f *testing.F) {
+	for _, n := range []int{0, 1, 700, 5000} {
+		var valid bytes.Buffer
+		if err := WritePdtz(&valid, "seed", makeTrace(n).Open()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid.Bytes())
+		f.Add(valid.Bytes()[:valid.Len()-1])          // missing footer byte
+		f.Add(valid.Bytes()[:valid.Len()/2])          // cut mid-payload
+		f.Add(append([]byte{}, valid.Bytes()[4:]...)) // magic stripped
+	}
+	f.Add([]byte("PDTZ"))
+	f.Add([]byte("PDTZ\x02\x04seedZEND"))
+	r := rng.New(7)
+	for i := 0; i < 8; i++ {
+		seed := []byte("PDTZ\x02\x01x")
+		n := r.Intn(96)
+		for j := 0; j < n; j++ {
+			seed = append(seed, byte(r.Uint32()))
+		}
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		z, err := ParsePdtz(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Error("ParsePdtz returned an empty error")
+			}
+			return
+		}
+		// Decode everything. Corrupt payloads must fail with a message;
+		// a failed batch must not crash subsequent calls.
+		var recs []isa.Branch
+		br := z.Open().(*BlockReader)
+		buf := make([]isa.Branch, 512)
+		for {
+			n, err := br.NextBatch(buf)
+			recs = append(recs, buf[:n]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				if err.Error() == "" {
+					t.Error("NextBatch returned an empty error")
+				}
+				br.NextBatch(buf) // must not panic after an error
+				return
+			}
+		}
+		// Clean decode: re-encode and re-decode must reproduce the stream.
+		var again bytes.Buffer
+		if err := WritePdtz(&again, z.Name(), z.Open()); err != nil {
+			t.Fatalf("re-encode of a cleanly decoded trace failed: %v", err)
+		}
+		z2, err := ParsePdtz(again.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of a re-encoded trace failed: %v", err)
+		}
+		m2, err := Collect("x", z2.Open())
+		if err != nil {
+			t.Fatalf("re-decode of a re-encoded trace failed: %v", err)
+		}
+		if len(m2.Records) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(m2.Records))
+		}
+		for i := range recs {
+			if m2.Records[i] != recs[i] {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, recs[i], m2.Records[i])
 			}
 		}
 	})

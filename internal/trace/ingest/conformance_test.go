@@ -1,0 +1,318 @@
+package ingest
+
+// Trace-conformance golden corpus. The files under testdata/golden are
+// committed outputs of every supported container format for known inputs:
+//
+//	synthetic.pdt      v1 encoding of a 50k-instruction catalog app trace
+//	synthetic.pdtz     v2 encoding of the SAME records
+//	champsim.trace.gz  hand-written ChampSim input_instr stream (gzipped)
+//	perf.txt           hand-written perf script LBR sample text
+//	DIGESTS            sha256 of each decoded record stream (v1-canonical bytes)
+//
+// The conformance tests assert, on every PR:
+//
+//  1. byte-exact round-trip — decoding a golden codec file and re-encoding
+//     it reproduces the committed bytes bit for bit;
+//  2. digest-stable decode — each golden file decodes to the exact record
+//     stream recorded in DIGESTS, and synthetic.pdt/synthetic.pdtz decode
+//     identically to each other.
+//
+// Regenerate after an intentional format change with:
+//
+//	go test ./internal/trace/ingest -run TestGolden -update-golden
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the testdata/golden corpus")
+
+const goldenDir = "testdata/golden"
+
+// goldenApp pins the synthetic member of the corpus.
+const (
+	goldenAppName = "Server-oltp-primary"
+	goldenInstrs  = 50_000
+)
+
+// champSimGolden builds the hand-written ChampSim fixture: a deterministic
+// instruction stream exercising every branch kind, taken and not-taken
+// conditionals (memoized and fallthrough), calls/returns, and multi-record
+// basic blocks.
+func champSimGolden() []byte {
+	const regSP, regFlags, regIP = 6, 25, 26
+	var out []byte
+	emit := func(ip uint64, isBranch, taken bool, dst, src []byte) {
+		b := champSimRecord(ip, isBranch, taken, dst, src)
+		out = append(out, b...)
+	}
+	plain := func(ip uint64) { emit(ip, false, false, []byte{1}, []byte{2}) }
+	cond := func(ip uint64, taken bool) {
+		emit(ip, true, taken, []byte{regIP}, []byte{regFlags, regIP})
+	}
+	call := func(ip uint64) {
+		emit(ip, true, true, []byte{regIP, regSP}, []byte{regSP, regIP})
+	}
+	icall := func(ip uint64) {
+		emit(ip, true, true, []byte{regIP, regSP}, []byte{regSP, 3})
+	}
+	ret := func(ip uint64) { emit(ip, true, true, []byte{regIP, regSP}, []byte{regSP}) }
+	jmp := func(ip uint64) { emit(ip, true, true, []byte{regIP}, []byte{regIP}) }
+	ijmp := func(ip uint64) { emit(ip, true, true, []byte{regIP}, []byte{3}) }
+
+	// A loop body called from two sites through a function, with an
+	// indirect dispatch and a switch-style indirect jump.
+	for iter := 0; iter < 50; iter++ {
+		base := uint64(0x400000 + iter*0x40)
+		plain(base)
+		plain(base + 4)
+		cond(base+8, iter%3 != 0) // not-taken every third iteration
+		if iter%3 != 0 {
+			plain(0x500000) // taken target: helper block
+			call(0x500004)  // direct call
+			plain(0x600000) // callee
+			ret(0x600004)
+			plain(0x500008) // return site
+			icall(0x50000c) // indirect call
+			plain(0x610000)
+			ret(0x610004)
+			jmp(0x500010) // jump back into the loop spine
+		} else {
+			plain(base + 12) // fallthrough path
+			ijmp(base + 16)  // switch dispatch
+		}
+		plain(base + 32)
+	}
+	return out
+}
+
+// perfGolden is the hand-written perf script fixture: default perf column
+// layout, comments, an empty sample, kernel-entry entries to skip, an
+// untyped entry, and multi-entry stacks in newest-first order.
+const perfGolden = `# ========
+# captured on    : Thu Aug  6 10:15:22 2026
+# event : name = branches:u, freq = 4000
+# ========
+  app  4711/4711  1023.001122:     400000 branches:u:  0x401248/0x401300/P/-/-/2/CALL 0x401230/0x401240/P/-/-/5/COND
+  app  4711/4711  1023.001130:     400000 branches:u:
+  app  4711/4711  1023.001150:     400000 branches:u:  0x401310/0x401200/P/-/-/1/RET 0x401304/0x401310/M/-/-/3/COND 0xffffffff81000010/0x401304/P/-/-/9/SYSRET
+  app  4711/4711  1023.001160:     400000 branches:u:  0x401260/0x401280/P/-/-/4 0x401250/0x40125c/P/-/-/2/IND_CALL
+  app  4711/4711  1023.001170:     400000 branches:u:  0x401290/0x4011f0/P/-/-/7/IND_JMP 0x401284/0x401290/P/-/-/1/UNCOND
+`
+
+// digest canonicalizes a record stream (v1 encoding, fixed name) and hashes
+// it, so the digest is independent of the container the records came from.
+func digest(t *testing.T, s trace.Source) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, "digest", s.Open()); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+}
+
+func goldenPath(file string) string { return filepath.Join(goldenDir, file) }
+
+func readGolden(t *testing.T, file string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(file))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	return data
+}
+
+// TestGoldenUpdate regenerates the corpus when -update-golden is set; it is
+// a no-op (and passes) otherwise.
+func TestGoldenUpdate(t *testing.T) {
+	if !*updateGolden {
+		t.Skip("run with -update-golden to regenerate the corpus")
+	}
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := workload.CatalogByName(goldenAppName)
+	if !ok {
+		t.Fatalf("no catalog app %q", goldenAppName)
+	}
+	_, m, err := workload.Build(cfg, goldenInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := trace.Write(&v1, m.TraceName, m.Open()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePdtz(&v2, m.TraceName, m.Open()); err != nil {
+		t.Fatal(err)
+	}
+	var cs bytes.Buffer
+	zw := gzip.NewWriter(&cs)
+	if _, err := zw.Write(champSimGolden()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{
+		"synthetic.pdt":     v1.Bytes(),
+		"synthetic.pdtz":    v2.Bytes(),
+		"champsim.trace.gz": cs.Bytes(),
+		"perf.txt":          []byte(perfGolden),
+	}
+	for name, data := range files {
+		if err := os.WriteFile(goldenPath(name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Digests of the decoded record streams, via the ingest path itself.
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var dig bytes.Buffer
+	for _, name := range names {
+		o, err := Open(goldenPath(name), Auto)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(&dig, "%s  %s\n", digest(t, o), name)
+		o.Close()
+	}
+	if err := os.WriteFile(goldenPath("DIGESTS"), dig.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %d golden files + DIGESTS", len(files))
+}
+
+// TestGoldenRoundTrip is conformance gate 1: decode → re-encode of each
+// native-codec golden file must reproduce the committed bytes exactly.
+func TestGoldenRoundTrip(t *testing.T) {
+	cases := []struct {
+		file   string
+		encode func(s trace.Source) ([]byte, error)
+	}{
+		{"synthetic.pdt", func(s trace.Source) ([]byte, error) {
+			var buf bytes.Buffer
+			err := trace.Write(&buf, s.Name(), s.Open())
+			return buf.Bytes(), err
+		}},
+		{"synthetic.pdtz", func(s trace.Source) ([]byte, error) {
+			var buf bytes.Buffer
+			err := trace.WritePdtz(&buf, s.Name(), s.Open())
+			return buf.Bytes(), err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			want := readGolden(t, tc.file)
+			o, err := Open(goldenPath(tc.file), Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer o.Close()
+			got, err := tc.encode(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("re-encode differs from committed bytes: got %d bytes, want %d (format drift? regenerate with -update-golden only if intentional)",
+					len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenDigests is conformance gate 2: every golden file must decode to
+// the exact record stream committed in DIGESTS, and the v1/v2 encodings of
+// the synthetic trace must decode identically.
+func TestGoldenDigests(t *testing.T) {
+	want := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(readGolden(t, "DIGESTS")))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 {
+			want[fields[1]] = fields[0]
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("DIGESTS is empty")
+	}
+	var v1src, v2src trace.Source
+	for name, wantDigest := range want {
+		o, err := Open(goldenPath(name), Auto)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer o.Close()
+		if got := digest(t, o); got != wantDigest {
+			t.Errorf("%s: decode digest %s, want %s", name, got, wantDigest)
+		}
+		switch name {
+		case "synthetic.pdt":
+			v1src = o
+		case "synthetic.pdtz":
+			v2src = o
+		}
+	}
+	if v1src == nil || v2src == nil {
+		t.Fatal("corpus is missing the synthetic v1/v2 pair")
+	}
+	m1, err := trace.Collect("x", v1src.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := trace.Collect("x", v2src.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Records, m2.Records) {
+		t.Error("v1 and v2 encodings of the same trace decode differently")
+	}
+}
+
+// TestGoldenChampSimKinds sanity-checks that the ChampSim fixture really
+// exercises the full taxonomy (guards against a regenerated fixture
+// silently losing coverage).
+func TestGoldenChampSimKinds(t *testing.T) {
+	o, err := Open(goldenPath("champsim.trace.gz"), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	m, err := trace.Collect("x", o.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen [6]int
+	notTaken := 0
+	for _, b := range m.Records {
+		seen[b.Kind]++
+		if !b.Taken {
+			notTaken++
+		}
+	}
+	for k, n := range seen {
+		if n == 0 {
+			t.Errorf("fixture has no records of kind %d", k)
+		}
+	}
+	if notTaken == 0 {
+		t.Error("fixture has no not-taken branches")
+	}
+}

@@ -1,0 +1,217 @@
+// Package ingest opens branch traces of any supported container format
+// behind one function: the repo's own .pdt (v1) and .pdtz (v2) codecs,
+// ChampSim binary instruction traces, and Linux perf script LBR text, each
+// optionally gzip-compressed. Format detection is by content, not filename,
+// so renamed or piped-through files still open; an explicit Format pins the
+// decoder when sniffing would guess wrong (e.g. a ChampSim trace that
+// happens to start with printable bytes).
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/trace/champsim"
+	"repro/internal/trace/perfscript"
+)
+
+// Format pins the decoder used for an input.
+type Format string
+
+const (
+	// Auto sniffs the format from the leading bytes.
+	Auto Format = "auto"
+	// Pdt is the repo's v1 single-stream codec.
+	Pdt Format = "pdt"
+	// Pdtz is the repo's v2 block codec.
+	Pdtz Format = "pdtz"
+	// ChampSim is the 64-byte binary input_instr stream.
+	ChampSim Format = "champsim"
+	// Perf is `perf script` LBR text.
+	Perf Format = "perf"
+)
+
+// ParseFormat validates a -from flag value.
+func ParseFormat(s string) (Format, error) {
+	switch f := Format(strings.ToLower(s)); f {
+	case Auto, Pdt, Pdtz, ChampSim, Perf:
+		return f, nil
+	default:
+		return Auto, fmt.Errorf("unknown trace format %q (want auto, pdt, pdtz, champsim or perf)", s)
+	}
+}
+
+// Opened is an ingested trace: a replayable Source plus where it came from.
+type Opened struct {
+	trace.Source
+	Format Format // the decoder actually used, never Auto
+
+	// ChampSimStats / PerfStats carry adapter counters when the respective
+	// decoder ran; nil otherwise.
+	ChampSimStats *champsim.Stats
+	PerfStats     *perfscript.Stats
+
+	closeFn func() error
+}
+
+// Close releases any resources (an mmap for direct .pdtz opens; nothing for
+// fully-ingested formats).
+func (o *Opened) Close() error {
+	if o.closeFn != nil {
+		f := o.closeFn
+		o.closeFn = nil
+		return f()
+	}
+	return nil
+}
+
+var (
+	gzipMagic = []byte{0x1f, 0x8b}
+	xzMagic   = []byte{0xfd, '7', 'z', 'X', 'Z', 0x00}
+	zstMagic  = []byte{0x28, 0xb5, 0x2f, 0xfd}
+)
+
+// Open opens and fully sniffs path. Plain .pdtz files are mmapped (zero-copy
+// batched decode); everything else is decoded into memory up front so the
+// returned Source replays without re-reading the file.
+func Open(path string, format Format) (*Opened, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	head, err := br.Peek(6)
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("ingest: %s: empty or unreadable: %w", path, err)
+	}
+
+	var in io.Reader = br
+	compressed := false
+	switch {
+	case bytes.HasPrefix(head, gzipMagic):
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: bad gzip stream: %w", path, err)
+		}
+		defer zr.Close()
+		in = bufio.NewReaderSize(zr, 1<<16)
+		compressed = true
+	case bytes.HasPrefix(head, xzMagic):
+		return nil, fmt.Errorf("ingest: %s: xz-compressed (no xz support built in); decompress first, e.g.: xz -dc %s > %s",
+			path, path, strings.TrimSuffix(path, ".xz"))
+	case bytes.HasPrefix(head, zstMagic):
+		return nil, fmt.Errorf("ingest: %s: zstd-compressed (no zstd support built in); decompress first, e.g.: zstd -dc %s > trace",
+			path, path)
+	}
+
+	if format == Auto || format == "" {
+		format, err = sniff(in.(*bufio.Reader))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+	}
+
+	name := traceBaseName(path)
+	switch format {
+	case Pdt:
+		dec, err := trace.NewDecoder(in)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		m, err := trace.Collect(dec.Name(), dec)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		return &Opened{Source: m, Format: Pdt}, nil
+
+	case Pdtz:
+		if !compressed {
+			// The common case: map the file and decode lazily, zero-copy.
+			z, err := trace.OpenPdtz(path)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: %s: %w", path, err)
+			}
+			return &Opened{Source: z, Format: Pdtz, closeFn: z.Close}, nil
+		}
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		z, err := trace.ParsePdtz(data)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		return &Opened{Source: z, Format: Pdtz, closeFn: z.Close}, nil
+
+	case ChampSim:
+		r := champsim.NewReader(in)
+		m, err := trace.Collect(name, r)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		st := r.Stats()
+		return &Opened{Source: m, Format: ChampSim, ChampSimStats: &st}, nil
+
+	case Perf:
+		r := perfscript.NewReader(in)
+		m, err := trace.Collect(name, r)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		st := r.Stats()
+		return &Opened{Source: m, Format: Perf, PerfStats: &st}, nil
+	}
+	return nil, fmt.Errorf("ingest: %s: unsupported format %q", path, format)
+}
+
+// sniff decides the format from the stream head without consuming it.
+func sniff(br *bufio.Reader) (Format, error) {
+	head, err := br.Peek(512)
+	if err != nil && len(head) == 0 {
+		return Auto, fmt.Errorf("empty input")
+	}
+	if len(head) >= 4 {
+		switch string(head[:4]) {
+		case "PDT1":
+			return Pdt, nil
+		case "PDTZ":
+			return Pdtz, nil
+		}
+	}
+	// Text (perf script) vs binary (ChampSim): LBR text is pure printable
+	// ASCII plus whitespace; a 64-byte input_instr record essentially always
+	// contains zero or high bytes in its first lines' worth of data.
+	for _, b := range head {
+		if b >= 0x80 || (b < 0x20 && b != '\n' && b != '\r' && b != '\t') {
+			return ChampSim, nil
+		}
+	}
+	return Perf, nil
+}
+
+// traceBaseName strips the recognized container extensions so ingested
+// traces get stable, readable names: "leela.champsimtrace.gz" -> "leela".
+func traceBaseName(path string) string {
+	base := filepath.Base(path)
+	for {
+		ext := filepath.Ext(base)
+		switch strings.ToLower(ext) {
+		case ".gz", ".xz", ".zst", ".pdt", ".pdtz", ".champsimtrace", ".champsim", ".trace", ".txt", ".perf":
+			base = strings.TrimSuffix(base, ext)
+			continue
+		}
+		if base == "" {
+			return "trace"
+		}
+		return base
+	}
+}

@@ -1,0 +1,210 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func sample(n int) *trace.Memory {
+	r := rng.New(11)
+	recs := make([]isa.Branch, n)
+	pc := addr.Build(2, 5, 0)
+	for i := range recs {
+		recs[i] = isa.Branch{
+			PC:       pc,
+			Target:   pc.Add(uint64(4 * (1 + r.Intn(2000)))),
+			BlockLen: uint16(1 + r.Intn(20)),
+			Kind:     isa.Kind(r.Intn(int(isa.NumKinds))),
+			Taken:    r.Intn(4) != 0,
+		}
+		pc = pc.Add(uint64(4 * (1 + r.Intn(50))))
+	}
+	return &trace.Memory{TraceName: "ingest-sample", Records: recs}
+}
+
+func collect(t *testing.T, s trace.Source) []isa.Branch {
+	t.Helper()
+	m, err := trace.Collect(s.Name(), s.Open())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Records
+}
+
+func writeFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gz(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Both native codecs must be sniffed by magic, plain and gzipped, and
+// round-trip the records exactly.
+func TestOpenNativeFormats(t *testing.T) {
+	m := sample(3000)
+	var v1, v2 bytes.Buffer
+	if err := trace.Write(&v1, m.TraceName, m.Open()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePdtz(&v2, m.TraceName, m.Open()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		file   string
+		data   []byte
+		format Format
+	}{
+		{"t.pdt", v1.Bytes(), Pdt},
+		{"renamed.bin", v1.Bytes(), Pdt},
+		{"t.pdt.gz", gz(t, v1.Bytes()), Pdt},
+		{"t.pdtz", v2.Bytes(), Pdtz},
+		{"t.pdtz.gz", gz(t, v2.Bytes()), Pdtz},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			o, err := Open(writeFile(t, tc.file, tc.data), Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer o.Close()
+			if o.Format != tc.format {
+				t.Errorf("format = %s, want %s", o.Format, tc.format)
+			}
+			if o.Name() != m.TraceName {
+				t.Errorf("name = %q, want %q", o.Name(), m.TraceName)
+			}
+			if got := collect(t, o); !reflect.DeepEqual(got, m.Records) {
+				t.Error("records differ after ingest")
+			}
+		})
+	}
+}
+
+// champSimRecord builds one 64-byte input_instr record for fixtures.
+func champSimRecord(ip uint64, isBranch, taken bool, dst, src []byte) []byte {
+	b := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(ip >> (8 * i))
+	}
+	if isBranch {
+		b[8] = 1
+	}
+	if taken {
+		b[9] = 1
+	}
+	copy(b[10:12], dst)
+	copy(b[12:16], src)
+	return b
+}
+
+func TestOpenChampSim(t *testing.T) {
+	const regSP, regFlags, regIP = 6, 25, 26
+	var raw []byte
+	raw = append(raw, champSimRecord(0x1000, false, false, []byte{1}, []byte{2})...)
+	raw = append(raw, champSimRecord(0x1004, true, true, []byte{regIP}, []byte{regFlags, regIP})...)
+	raw = append(raw, champSimRecord(0x2000, false, false, []byte{1}, []byte{2})...)
+
+	for _, file := range []string{"app.champsimtrace", "app.champsimtrace.gz"} {
+		data := raw
+		if strings.HasSuffix(file, ".gz") {
+			data = gz(t, raw)
+		}
+		t.Run(file, func(t *testing.T) {
+			o, err := Open(writeFile(t, file, data), Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer o.Close()
+			if o.Format != ChampSim {
+				t.Fatalf("format = %s, want champsim", o.Format)
+			}
+			if o.Name() != "app" {
+				t.Errorf("name = %q, want app", o.Name())
+			}
+			recs := collect(t, o)
+			if len(recs) != 1 || recs[0].Kind != isa.CondDirect || recs[0].Target != addr.New(0x2000) {
+				t.Errorf("records = %+v, want one conditional to 0x2000", recs)
+			}
+			if o.ChampSimStats == nil || o.ChampSimStats.Instructions != 3 {
+				t.Errorf("ChampSimStats = %+v, want 3 instructions", o.ChampSimStats)
+			}
+		})
+	}
+}
+
+func TestOpenPerfScript(t *testing.T) {
+	text := "# header\nmyapp 1 2.5: 7 branches:u: 0x2008/0x3000/P/-/-/1/COND 0x1000/0x2000/P/-/-/4/CALL\n"
+	o, err := Open(writeFile(t, "run.perf.txt", []byte(text)), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Format != Perf {
+		t.Fatalf("format = %s, want perf", o.Format)
+	}
+	recs := collect(t, o)
+	if len(recs) != 2 || recs[0].Kind != isa.DirectCall || recs[1].Kind != isa.CondDirect {
+		t.Errorf("records = %+v, want CALL then COND", recs)
+	}
+	if o.PerfStats == nil || o.PerfStats.Samples != 1 {
+		t.Errorf("PerfStats = %+v, want 1 sample", o.PerfStats)
+	}
+}
+
+// A forced format must beat sniffing: LBR text forced as champsim fails as
+// binary instead of parsing as perf.
+func TestForcedFormat(t *testing.T) {
+	path := writeFile(t, "t.txt", []byte("0x10/0x20/P/-/-/1/COND\n"))
+	if _, err := Open(path, ChampSim); err == nil || !strings.Contains(err.Error(), "champsim") {
+		t.Errorf("forcing champsim on text = %v, want champsim decode error", err)
+	}
+}
+
+// Unsupported compression must fail with decompression guidance, not a
+// decode error.
+func TestCompressionGuidance(t *testing.T) {
+	xz := append([]byte{0xfd, '7', 'z', 'X', 'Z', 0x00}, make([]byte, 32)...)
+	if _, err := Open(writeFile(t, "t.pdt.xz", xz), Auto); err == nil || !strings.Contains(err.Error(), "xz -dc") {
+		t.Errorf("xz error = %v, want 'xz -dc' guidance", err)
+	}
+	zst := append([]byte{0x28, 0xb5, 0x2f, 0xfd}, make([]byte, 32)...)
+	if _, err := Open(writeFile(t, "t.zst", zst), Auto); err == nil || !strings.Contains(err.Error(), "zstd -dc") {
+		t.Errorf("zstd error = %v, want 'zstd -dc' guidance", err)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"auto", "pdt", "pdtz", "champsim", "perf", "PDTZ"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("elf"); err == nil {
+		t.Error("ParseFormat(elf) succeeded, want error")
+	}
+}

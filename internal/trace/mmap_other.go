@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mmapFile on platforms without a memory-mapping syscall surface reads the
+// whole file instead. The zero-copy BlockReader decode path is unchanged —
+// it only ever sees a []byte — the platform just pays one up-front read.
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, nil, nil
+}

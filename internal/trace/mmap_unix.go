@@ -1,0 +1,49 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapping plus an unmap
+// function. Empty files return a nil slice and nil unmap (nothing to
+// release). Mapping a trace instead of reading it means opening a
+// paper-scale file is O(1) and decoding streams pages in on demand; several
+// BlockReaders can consume one shared mapping with no copies and no locks.
+func mmapFile(path string) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems (and special files) refuse mmap; fall back to a
+		// plain read so the caller still gets the bytes.
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			return nil, nil, serr
+		}
+		buf, rerr := io.ReadAll(f)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("mmap failed (%v) and read fallback failed: %w", err, rerr)
+		}
+		return buf, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

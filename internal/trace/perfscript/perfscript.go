@@ -1,0 +1,224 @@
+// Package perfscript ingests Linux `perf script` branch-stack output (LBR
+// samples) and converts it to the simulator's branch-record model.
+//
+// The expected input is the text produced by
+//
+//	perf record -b -e branches:u -- <cmd>
+//	perf script -F brstack        # optionally with ip/comm/etc. columns
+//
+// where each sample line carries up to 32 last-branch-record entries of the
+// form
+//
+//	FROM/TO/M|P/X|-/A|-/CYCLES[/TYPE]
+//
+// e.g. 0x401234/0x401290/P/-/-/3/COND. Entries within a line are listed
+// newest-first; the parser reverses each sample so the emitted stream is
+// chronological. Tokens that do not look like brstack entries (leading ip,
+// comm, event columns, header lines) are ignored, so the default `perf
+// script` layout works unmodified.
+//
+// LBR facts worth knowing when reading censuses made from this data:
+//
+//   - the LBR records taken branches only, so every emitted record has
+//     Taken=true and not-taken conditional work is invisible;
+//   - block lengths are reconstructed from consecutive entries within one
+//     sample — (FROM − previous TO)/isa.InstrBytes + 1, saturated into
+//     [1, isa.MaxBlockLen] — and reset to 1 at sample boundaries;
+//   - TYPE is only present when the kernel classified the branch
+//     (perf ≥ 4.x with save_type); untyped entries default to CondDirect,
+//     the dominant class in real code, and are counted in Stats.Untyped.
+package perfscript
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+// kindByType maps perf's branch-type spellings onto the simulator taxonomy.
+// Kernel-entry flavours (SYSCALL, SYSRET, IRQ, ERET) have no analogue in the
+// model and are skipped rather than mislabelled.
+var kindByType = map[string]isa.Kind{
+	"COND":      isa.CondDirect,
+	"UNCOND":    isa.UncondDirect,
+	"JMP":       isa.UncondDirect,
+	"IND":       isa.IndirectJump,
+	"IND_JMP":   isa.IndirectJump,
+	"CALL":      isa.DirectCall,
+	"IND_CALL":  isa.IndirectCall,
+	"RET":       isa.Return,
+	"COND_CALL": isa.DirectCall,
+	"COND_RET":  isa.Return,
+}
+
+// skippedTypes are recognized but unmodelled branch flavours.
+var skippedTypes = map[string]bool{
+	"SYSCALL": true,
+	"SYSRET":  true,
+	"IRQ":     true,
+	"ERET":    true,
+}
+
+// Stats summarizes one parsing pass.
+type Stats struct {
+	Lines   int64 // input lines seen
+	Samples int64 // lines that carried at least one brstack entry
+	Entries int64 // brstack entries emitted
+	Skipped int64 // entries dropped (unmodelled type)
+	Untyped int64 // entries with no TYPE field, defaulted to CondDirect
+}
+
+// Reader parses perf script output into isa.Branch records. It implements
+// trace.Reader.
+type Reader struct {
+	sc    *bufio.Scanner
+	line  int64
+	queue []isa.Branch
+	qhead int
+	stats Stats
+	err   error
+}
+
+// NewReader wraps r, which must yield perf script text.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	// A 32-deep brstack line is ~1.5 KB; leave generous headroom for long
+	// symbol columns.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Stats returns parse counters; valid any time, final after io.EOF.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// entry is one parsed brstack record, pre-reversal.
+type entry struct {
+	from, to uint64
+	kind     isa.Kind
+}
+
+// entryResult says what parseEntry made of a token.
+type entryResult int
+
+const (
+	notEntry     entryResult = iota // some other perf column; ignore
+	emitEntry                       // well-formed, typed
+	untypedEntry                    // well-formed, no TYPE field
+	skipEntry                       // well-formed but unmodelled type
+)
+
+// parseEntry decodes one FROM/TO/M|P/X|-/A|-/CYCLES[/TYPE] token. An error
+// means the token had the brstack shape but bad contents.
+func parseEntry(tok string) (entry, entryResult, error) {
+	if !strings.HasPrefix(tok, "0x") || strings.Count(tok, "/") < 5 {
+		return entry{}, notEntry, nil
+	}
+	fields := strings.Split(tok, "/")
+	from, err := strconv.ParseUint(fields[0], 0, 64)
+	if err != nil {
+		return entry{}, notEntry, fmt.Errorf("bad FROM address %q", fields[0])
+	}
+	to, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return entry{}, notEntry, fmt.Errorf("bad TO address %q", fields[1])
+	}
+	e := entry{from: from, to: to}
+	if len(fields) < 7 || fields[6] == "" || fields[6] == "-" {
+		e.kind = isa.CondDirect
+		return e, untypedEntry, nil
+	}
+	typ := fields[6]
+	if kind, found := kindByType[typ]; found {
+		e.kind = kind
+		return e, emitEntry, nil
+	}
+	if skippedTypes[typ] {
+		return e, skipEntry, nil
+	}
+	return entry{}, notEntry, fmt.Errorf("unknown branch type %q", typ)
+}
+
+// fill parses lines until at least one branch is queued or input ends.
+func (r *Reader) fill() error {
+	for r.sc.Scan() {
+		r.line++
+		r.stats.Lines++
+		text := r.sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "#") {
+			continue
+		}
+		var entries []entry
+		for _, tok := range strings.Fields(text) {
+			e, res, err := parseEntry(tok)
+			if err != nil {
+				r.err = fmt.Errorf("perfscript: line %d: %v", r.line, err)
+				return r.err
+			}
+			switch res {
+			case notEntry:
+			case skipEntry:
+				r.stats.Skipped++
+			case untypedEntry:
+				r.stats.Untyped++
+				entries = append(entries, e)
+			case emitEntry:
+				entries = append(entries, e)
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		r.stats.Samples++
+		// Newest-first on the wire; reverse to chronological order and
+		// reconstruct block lengths from gaps between consecutive entries.
+		r.queue = r.queue[:0]
+		r.qhead = 0
+		prevTo := uint64(0)
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := entries[i]
+			block := uint64(1)
+			if prevTo != 0 && e.from >= prevTo {
+				block = (e.from-prevTo)/isa.InstrBytes + 1
+			}
+			r.queue = append(r.queue, isa.Branch{
+				PC:       addr.New(e.from),
+				Target:   addr.New(e.to),
+				BlockLen: isa.ClampBlockLen(block),
+				Kind:     e.kind,
+				Taken:    true,
+			})
+			prevTo = e.to
+		}
+		r.stats.Entries += int64(len(r.queue))
+		return nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = fmt.Errorf("perfscript: line %d: read failed: %v", r.line+1, err)
+		return r.err
+	}
+	return io.EOF
+}
+
+// Next implements trace.Reader.
+func (r *Reader) Next() (isa.Branch, error) {
+	if r.err != nil {
+		return isa.Branch{}, r.err
+	}
+	for r.qhead >= len(r.queue) {
+		if err := r.fill(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return isa.Branch{}, io.EOF
+			}
+			return isa.Branch{}, err
+		}
+	}
+	b := r.queue[r.qhead]
+	r.qhead++
+	return b, nil
+}

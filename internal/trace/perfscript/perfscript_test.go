@@ -1,0 +1,184 @@
+package perfscript
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/isa"
+)
+
+func decodeAll(t *testing.T, text string) ([]isa.Branch, *Reader) {
+	t.Helper()
+	r := NewReader(strings.NewReader(text))
+	var out []isa.Branch
+	for {
+		b, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, r
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, b)
+	}
+}
+
+// Entries arrive newest-first within a sample and must come out
+// chronological, with block lengths rebuilt from the inter-entry gaps.
+func TestSampleReversalAndBlockLen(t *testing.T) {
+	// Chronological truth: 0x1000->0x2000 (CALL), then after two more
+	// instructions 0x2008->0x3000 (COND). perf prints them newest-first.
+	text := "0x2008/0x3000/P/-/-/1/COND 0x1000/0x2000/P/-/-/4/CALL\n"
+	got, r := decodeAll(t, text)
+	want := []isa.Branch{
+		{PC: addr.New(0x1000), Target: addr.New(0x2000), BlockLen: 1, Kind: isa.DirectCall, Taken: true},
+		{PC: addr.New(0x2008), Target: addr.New(0x3000), BlockLen: 3, Kind: isa.CondDirect, Taken: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := r.Stats()
+	if st.Samples != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 sample / 2 entries", st)
+	}
+}
+
+// The default perf script layout has comm/tid/timestamp/event columns before
+// the brstack; headers and empty lines appear too. All must be ignored.
+func TestIgnoresNonBrstackColumns(t *testing.T) {
+	text := strings.Join([]string{
+		"# captured on: Thu Aug  6 2026",
+		"",
+		"myapp 4711 1234.5678: 100 branches:u: 0x1000/0x2000/P/-/-/3/RET",
+		"myapp 4711 1234.5679: 100 branches:u:",
+	}, "\n") + "\n"
+	got, _ := decodeAll(t, text)
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records, want 1: %+v", len(got), got)
+	}
+	if got[0].Kind != isa.Return || got[0].PC != addr.New(0x1000) {
+		t.Errorf("record = %+v, want RET 0x1000->0x2000", got[0])
+	}
+}
+
+// Every documented TYPE spelling must land on its kind; kernel-entry types
+// are skipped; missing types default to CondDirect and are counted.
+func TestTypeMapping(t *testing.T) {
+	cases := []struct {
+		typ  string
+		kind isa.Kind
+	}{
+		{"COND", isa.CondDirect},
+		{"UNCOND", isa.UncondDirect},
+		{"JMP", isa.UncondDirect},
+		{"IND", isa.IndirectJump},
+		{"IND_JMP", isa.IndirectJump},
+		{"CALL", isa.DirectCall},
+		{"IND_CALL", isa.IndirectCall},
+		{"RET", isa.Return},
+		{"COND_CALL", isa.DirectCall},
+		{"COND_RET", isa.Return},
+	}
+	for _, tc := range cases {
+		got, _ := decodeAll(t, "0x10/0x20/P/-/-/1/"+tc.typ+"\n")
+		if len(got) != 1 || got[0].Kind != tc.kind {
+			t.Errorf("type %s: got %+v, want kind %v", tc.typ, got, tc.kind)
+		}
+	}
+
+	got, r := decodeAll(t, "0x10/0x20/P/-/-/1/SYSCALL 0x30/0x40/P/-/-/1\n")
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records, want 1 (SYSCALL skipped)", len(got))
+	}
+	if got[0].Kind != isa.CondDirect {
+		t.Errorf("untyped entry kind = %v, want CondDirect", got[0].Kind)
+	}
+	st := r.Stats()
+	if st.Skipped != 1 || st.Untyped != 1 {
+		t.Errorf("stats = %+v, want 1 skipped / 1 untyped", st)
+	}
+}
+
+// Malformed entries must fail with the line number; parse errors stick.
+func TestMalformedEntries(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want []string
+	}{
+		{"bad-from", "ok line\n0xzz/0x20/P/-/-/1/COND\n", []string{"line 2", "bad FROM"}},
+		{"bad-to", "0x10/0xqq/P/-/-/1/COND\n", []string{"line 1", "bad TO"}},
+		{"bad-type", "0x10/0x20/P/-/-/1/WAT\n", []string{"line 1", `unknown branch type "WAT"`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.text))
+			var err error
+			for err == nil {
+				_, err = r.Next()
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatal("parse succeeded, want error")
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("error %q missing %q", err, frag)
+				}
+			}
+			if _, err2 := r.Next(); err2 == nil || errors.Is(err2, io.EOF) {
+				t.Error("error did not stick across Next calls")
+			}
+		})
+	}
+}
+
+// Descending or wrapping FROM addresses (sample boundary artifacts, kernel
+// to user transitions) must clamp the block heuristic, not underflow.
+func TestBlockLenClamps(t *testing.T) {
+	// Second entry's FROM is below the first entry's TO.
+	text := "0x100/0x9000/P/-/-/1/COND 0x8000/0x9000/P/-/-/1/COND\n"
+	got, _ := decodeAll(t, text)
+	if len(got) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(got))
+	}
+	if got[1].BlockLen != 1 {
+		t.Errorf("descending FROM block length = %d, want clamp to 1", got[1].BlockLen)
+	}
+}
+
+// FuzzPerfScriptParser feeds arbitrary text through the parser: no panics,
+// positioned errors only, and all emitted records must satisfy the
+// isa.Branch invariants.
+func FuzzPerfScriptParser(f *testing.F) {
+	f.Add("")
+	f.Add("0x2008/0x3000/P/-/-/1/COND 0x1000/0x2000/P/-/-/4/CALL\n")
+	f.Add("# comment\nmyapp 1 2.3: 4 branches:u: 0x10/0x20/P/-/-/1/RET\n")
+	f.Add("0x10/0x20/P/-/-/1/SYSCALL 0x30/0x40/M/X/A/9\n")
+	f.Add("0x10/0x20/P\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		r := NewReader(strings.NewReader(text))
+		for {
+			b, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "perfscript: line") {
+					t.Fatalf("error without position: %v", err)
+				}
+				return
+			}
+			if b.BlockLen == 0 {
+				t.Fatalf("emitted BlockLen 0: %+v", b)
+			}
+			if b.Kind >= isa.NumKinds || !b.Taken {
+				t.Fatalf("emitted invalid record: %+v", b)
+			}
+		}
+	})
+}

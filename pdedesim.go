@@ -286,6 +286,41 @@ func CheckDesign(ctx context.Context, app App, design func() (TargetPredictor, e
 	return oracle.DiffDesign(ctx, tp, tr, opts)
 }
 
+// TraceSource is a replayable trace provider: the in-memory Trace, a
+// file-backed .pdtz mapping, or anything else producing identical reader
+// streams on every Open. Real ingested traces (ChampSim, perf/LBR) satisfy
+// it via package internal/trace/ingest.
+type TraceSource = trace.Source
+
+// DiffDesignNames lists the design roster the differential oracle covers,
+// in registry order.
+func DiffDesignNames() []string {
+	ds := experiments.DiffDesigns()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// CheckDesignOnTrace runs one diff-roster design (by registry name) and its
+// reference oracle in lockstep over an arbitrary trace source — typically a
+// real ingested trace rather than a synthetic app. The report is returned
+// even when divergences were found; inspect report.Err() for fatality.
+func CheckDesignOnTrace(ctx context.Context, name string, src TraceSource, opts DiffOptions) (*DiffReport, error) {
+	for _, d := range experiments.DiffDesigns() {
+		if d.Name != name {
+			continue
+		}
+		tp, err := d.New()
+		if err != nil {
+			return nil, err
+		}
+		return oracle.DiffDesign(ctx, tp, src, opts)
+	}
+	return nil, fmt.Errorf("pdedesim: no diff design named %q (see DiffDesignNames)", name)
+}
+
 // --- Experiments ----------------------------------------------------------
 
 // Experiments lists every table/figure reproduction in paper order.
