@@ -26,8 +26,8 @@ BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 
 # Pinned third-party tool versions, shared with CI. @latest would make lint
 # results drift between a contributor's machine and the CI runner.
-STATICCHECK_VERSION ?= 2025.1.1
-GOVULNCHECK_VERSION ?= v1.1.4
+STATICCHECK_VERSION ?= 2025.1.2
+GOVULNCHECK_VERSION ?= v1.1.5
 
 # Packages run under the race detector by `make race`. One variable instead
 # of a hardcoded list in the recipe, so new concurrent packages are added

@@ -131,6 +131,7 @@ func run() int {
 	var w io.Writer = os.Stdout
 	var outFile *os.File
 	if *out != "" {
+		//pdede:raw-write-ok -out tees stdout as it streams; no reader consumes it mid-run
 		f, err := os.Create(*out)
 		if err != nil {
 			return fail(err)

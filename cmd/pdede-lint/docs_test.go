@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// These tests pin the documentation to the registered analyzer set: adding,
+// renaming, or removing an analyzer without updating DESIGN.md §6.2 and the
+// README "Static analysis" section fails the build.
+
+func suiteNames() []string {
+	var names []string
+	for _, a := range suite() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// section returns the lines of doc between the heading line containing
+// marker and the next heading of the same or higher level.
+func section(t *testing.T, path, marker string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	var level string
+	for i, l := range lines {
+		if start == -1 {
+			if strings.HasPrefix(l, "#") && strings.Contains(l, marker) {
+				start = i + 1
+				level = l[:strings.IndexByte(l, ' ')]
+			}
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			h := l[:strings.IndexByte(l+" ", ' ')]
+			if len(h) <= len(level) {
+				return lines[start:i]
+			}
+		}
+	}
+	if start == -1 {
+		t.Fatalf("%s: no heading contains %q", path, marker)
+	}
+	return lines[start:]
+}
+
+// TestDesignTableMatchesSuite asserts the §6.2 analyzer table lists exactly
+// the registered analyzers, in registration order.
+func TestDesignTableMatchesSuite(t *testing.T) {
+	row := regexp.MustCompile("^\\| `([a-z]+)` \\|")
+	var documented []string
+	for _, l := range section(t, "../../DESIGN.md", "6.2 Statically enforced invariants") {
+		if m := row.FindStringSubmatch(l); m != nil {
+			documented = append(documented, m[1])
+		}
+	}
+	want := suiteNames()
+	if strings.Join(documented, ",") != strings.Join(want, ",") {
+		t.Errorf("DESIGN.md §6.2 analyzer table is out of sync with suite():\n  documented: %v\n  registered: %v",
+			documented, want)
+	}
+}
+
+// TestReadmeListMatchesSuite asserts the README "Static analysis" section
+// bolds exactly the registered analyzer names (order-insensitive: the
+// README groups by analysis style, not registration order).
+func TestReadmeListMatchesSuite(t *testing.T) {
+	bold := regexp.MustCompile(`\*\*([a-z]+)\*\*`)
+	seen := map[string]bool{}
+	for _, l := range section(t, "../../README.md", "Static analysis") {
+		for _, m := range bold.FindAllStringSubmatch(l, -1) {
+			seen[m[1]] = true
+		}
+	}
+	var documented []string
+	for name := range seen {
+		documented = append(documented, name)
+	}
+	sort.Strings(documented)
+	want := suiteNames()
+	sort.Strings(want)
+	if strings.Join(documented, ",") != strings.Join(want, ",") {
+		t.Errorf("README \"Static analysis\" section is out of sync with suite():\n  documented: %v\n  registered: %v",
+			documented, want)
+	}
+}

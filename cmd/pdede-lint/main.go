@@ -1,4 +1,4 @@
-// pdede-lint is the repository's custom static-analysis suite: eight
+// pdede-lint is the repository's custom static-analysis suite: eleven
 // analyzers that enforce at compile time the contracts the runtime
 // verification machinery (differential oracle, deep audits, perf gate)
 // checks at run time.
@@ -13,11 +13,18 @@
 //	              registered for the oracle sweep
 //	atomicwrite   checkpoint/report files go through atomicio
 //	statepurity   Lookup paths write only //pdede:scratch fields
-//	              (wrong-path safety, via flowkit's call graph)
+//	              (wrong-path safety, via flowkit's interprocedural
+//	              write-set summaries)
 //	addrdomain    RegionID/PageNum/PageOffset/SetIndex/Tag values never
 //	              cross domains through conversions or comparisons
 //	guardedby     //pdede:guarded-by(mu) fields accessed only with the
 //	              mutex held on every CFG path (flowkit dataflow)
+//	clonecomplete Clone() deep-copies every reference field or marks it
+//	              //pdede:shared-immutable (flowkit retention summaries)
+//	frozen        //pdede:frozen types are never written after their
+//	              constructor returns (interprocedural closure)
+//	ctxblock      blocking ops reachable from serve/experiments pool
+//	              goroutines are select-guarded by ctx/done
 //
 // Usage:
 //
@@ -27,9 +34,14 @@
 // Standalone mode loads packages via `go list -export` (build-cache only,
 // no network). As a vettool it speaks cmd/go's unitchecker config
 // protocol. Exit status: 0 clean, 1 findings, 2 operational error.
+//
+// With -json, standalone findings are emitted to stdout as a JSON array of
+// {file, line, col, analyzer, message} objects (empty array when clean) for
+// CI annotation tooling; the exit-status contract is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +51,10 @@ import (
 	"repro/internal/analysis/atomicwrite"
 	"repro/internal/analysis/auditcontract"
 	"repro/internal/analysis/bitwidth"
+	"repro/internal/analysis/clonecomplete"
+	"repro/internal/analysis/ctxblock"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/frozen"
 	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lintkit"
@@ -57,6 +72,9 @@ func suite() []*lintkit.Analyzer {
 		statepurity.Analyzer,
 		addrdomain.Analyzer,
 		guardedby.Analyzer,
+		clonecomplete.Analyzer,
+		frozen.Analyzer,
+		ctxblock.Analyzer,
 	}
 }
 
@@ -86,6 +104,7 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	dir := fs.String("C", "", "change to this directory before loading packages")
+	asJSON := fs.Bool("json", false, "emit diagnostics to stdout as a JSON array")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: pdede-lint [flags] [packages]\n\n")
 		fs.PrintDefaults()
@@ -119,14 +138,49 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "pdede-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "pdede-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "pdede-lint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pdede-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json wire form of one finding. Field names are part of
+// the CI contract (the problem-matcher in .github/ parses them).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []lintkit.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(only string) ([]*lintkit.Analyzer, error) {

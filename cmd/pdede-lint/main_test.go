@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -197,6 +199,36 @@ func Mix(r addr.RegionID) addr.PageNum {
 			"internal/experiments/checkpoint.go": guardedbySeed,
 		},
 	},
+	{
+		// Corruption injection: the classic shallow-clone bug — copying the
+		// struct copies the slice header, not the storage.
+		name:     "clonecomplete",
+		analyzer: "clonecomplete",
+		files: map[string]string{
+			"go.mod":              "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": clonecompleteSeed,
+		},
+	},
+	{
+		// Corruption injection: an exported mutator writing a //pdede:frozen
+		// type after construction.
+		name:     "frozen",
+		analyzer: "frozen",
+		files: map[string]string{
+			"go.mod":                "module seed\n\ngo 1.22\n",
+			"internal/core/core.go": frozenSeed,
+		},
+	},
+	{
+		// Corruption injection: a pool goroutine blocking on an unguarded
+		// channel send.
+		name:     "ctxblock",
+		analyzer: "ctxblock",
+		files: map[string]string{
+			"go.mod":                  "module seed\n\ngo 1.22\n",
+			"internal/serve/serve.go": ctxblockSeed,
+		},
+	},
 }
 
 // statepuritySeed is a fixture copy of Baseline.Lookup with the
@@ -251,6 +283,55 @@ func (c *Checkpoint) Peek(app string) int {
 }
 `
 
+// clonecompleteSeed clones the struct but leaves the entry slice aliased to
+// the receiver.
+const clonecompleteSeed = `package btb
+
+type Cache struct {
+	lines []uint64
+	ways  int
+}
+
+func (c *Cache) Clone() *Cache {
+	d := *c
+	return &d
+}
+`
+
+// frozenSeed mutates a frozen warm-state record through an exported entry
+// point, i.e. from arbitrary post-construction contexts.
+const frozenSeed = `package core
+
+//pdede:frozen
+type Warm struct {
+	recs []int
+}
+
+func NewWarm(n int) *Warm {
+	w := &Warm{recs: make([]int, 0, n)}
+	return w
+}
+
+func Taint(w *Warm) {
+	w.recs = append(w.recs, 1)
+}
+`
+
+// ctxblockSeed spawns a pool goroutine that can block forever on a send no
+// select guards.
+const ctxblockSeed = `package serve
+
+type Pool struct {
+	jobs chan int
+}
+
+func (p *Pool) Start() {
+	go func() {
+		p.jobs <- 1
+	}()
+}
+`
+
 // TestSeededViolations checks, per analyzer, that a single seeded violation
 // makes the standalone tool exit 1.
 func TestSeededViolations(t *testing.T) {
@@ -265,6 +346,69 @@ func TestSeededViolations(t *testing.T) {
 				t.Fatalf("full suite on seeded module: exit %d, want 1", got)
 			}
 		})
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what f wrote.
+func captureStdout(t *testing.T, f func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestJSONOutput pins the -json wire format CI's problem matcher consumes:
+// an array of {file, line, col, analyzer, message}, empty when clean, with
+// the exit-status contract unchanged.
+func TestJSONOutput(t *testing.T) {
+	root := linttest.WriteModule(t, map[string]string{
+		"go.mod":              "module seed\n\ngo 1.22\n",
+		"internal/btb/btb.go": clonecompleteSeed,
+	})
+	var exit int
+	out := captureStdout(t, func() {
+		exit = run([]string{"-C", root, "-json", "./..."})
+	})
+	if exit != 1 {
+		t.Fatalf("-json seeded run exit %d, want 1", exit)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output empty on a seeded violation")
+	}
+	d := diags[0]
+	if d.Analyzer != "clonecomplete" || d.File == "" || d.Line == 0 ||
+		!strings.Contains(d.Message, "aliased") {
+		t.Fatalf("malformed diagnostic: %+v", d)
+	}
+
+	clean := linttest.WriteModule(t, map[string]string{
+		"go.mod":              "module seed\n\ngo 1.22\n",
+		"internal/btb/btb.go": "package btb\n\nfunc ID(x uint64) uint64 { return x }\n",
+	})
+	out = captureStdout(t, func() {
+		exit = run([]string{"-C", clean, "-json", "./..."})
+	})
+	if exit != 0 {
+		t.Fatalf("-json clean run exit %d, want 0", exit)
+	}
+	if err := json.Unmarshal(out, &diags); err != nil || len(diags) != 0 {
+		t.Fatalf("clean -json run must emit an empty array, got %q (err %v)", out, err)
 	}
 }
 
@@ -318,6 +462,10 @@ func TestVettoolProtocol(t *testing.T) {
 			"go.mod":                             "module seed\n\ngo 1.22\n",
 			"internal/experiments/checkpoint.go": guardedbySeed,
 		}, "guarded by c.mu"},
+		{"frozen", map[string]string{
+			"go.mod":                "module seed\n\ngo 1.22\n",
+			"internal/core/core.go": frozenSeed,
+		}, "outside construction"},
 	}
 	var stderr bytes.Buffer
 	for _, dr := range dirtyRuns {

@@ -97,6 +97,7 @@ func main() {
 				codec = "pdt"
 			}
 		}
+		//pdede:raw-write-ok traces stream at paper scale; buffering for an atomic rename would need the whole file in memory
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)

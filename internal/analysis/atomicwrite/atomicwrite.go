@@ -32,11 +32,17 @@ import (
 )
 
 // Scope is the import-path suffixes of packages persisting checkpoints and
-// reports.
+// reports, including the cmd mains that write result files directly.
 var Scope = []string{
 	"internal/experiments",
 	"internal/perf",
 	"internal/serve",
+	"cmd/pdede-analyze",
+	"cmd/pdede-bench",
+	"cmd/pdede-experiments",
+	"cmd/pdede-serve",
+	"cmd/pdede-sim",
+	"cmd/pdede-trace",
 }
 
 // Analyzer is the atomic-write check.

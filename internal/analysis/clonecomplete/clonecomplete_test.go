@@ -1,0 +1,13 @@
+package clonecomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/clonecomplete"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestClonecomplete(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{clonecomplete.Analyzer})
+}

@@ -1,0 +1,124 @@
+// Package clonefix exercises clonecomplete: Clone methods must give every
+// pointer/slice/map field fresh backing storage.
+package clonefix
+
+type entry struct{ tag, target uint64 }
+
+// Table clones deeply — the real cache.Cache pattern: deref copy, then
+// re-append every slice (including nested element slices). No findings.
+type Table struct {
+	sets [][]entry
+	repl []uint8
+	name string
+}
+
+func (c *Table) Clone() *Table {
+	d := *c
+	d.sets = append([][]entry(nil), c.sets...)
+	for i := range d.sets {
+		d.sets[i] = append([]entry(nil), c.sets[i]...)
+	}
+	d.repl = append([]uint8(nil), c.repl...)
+	return &d
+}
+
+// Shallow forgets one field: repl rides along from the deref copy.
+type Shallow struct {
+	sets []entry
+	repl []uint8
+}
+
+func (s *Shallow) Clone() *Shallow {
+	d := *s // want `Clone of Shallow leaves reference field repl aliased to the receiver`
+	d.sets = append([]entry(nil), s.sets...)
+	return &d
+}
+
+// Grow re-assigns the field but appends onto the receiver's own backing
+// array, which shares storage until the append happens to reallocate.
+type Grow struct{ buf []int }
+
+func (g *Grow) Clone() *Grow {
+	d := *g
+	d.buf = append(g.buf, 0) // want `Clone of Grow leaves reference field buf aliased to the receiver`
+	return &d
+}
+
+// Lit builds the clone as a composite literal; field b's initializer still
+// aliases the receiver.
+type Lit struct {
+	a []int
+	b []int
+}
+
+func (l *Lit) Clone() *Lit {
+	return &Lit{
+		a: append([]int(nil), l.a...),
+		b: l.b, // want `Clone of Lit leaves reference field b aliased to the receiver`
+	}
+}
+
+// keep returns its argument: its summary records that the result retains
+// parameter 0, so routing a receiver slice through it proves nothing.
+func keep(b []int) []int { return b }
+
+// freshCopy really reallocates; its summary retains nothing.
+func freshCopy(b []int) []int { return append([]int(nil), b...) }
+
+// Help launders the alias through an in-package helper — the
+// interprocedural retention summary catches it.
+type Help struct{ buf []int }
+
+func (h *Help) Clone() *Help {
+	d := *h
+	d.buf = keep(h.buf) // want `Clone of Help leaves reference field buf aliased to the receiver`
+	return &d
+}
+
+// Help2 uses the genuinely-copying helper: the summary proves the result
+// is unaliased. No findings.
+type Help2 struct{ buf []int }
+
+func (h *Help2) Clone() *Help2 {
+	d := *h
+	d.buf = freshCopy(h.buf)
+	return &d
+}
+
+// SharedTab declares its read-only table shareable. Only buf must be
+// copied.
+type SharedTab struct {
+	//pdede:shared-immutable precomputed read-only lookup table
+	tab []int
+	buf []int
+}
+
+func (s *SharedTab) Clone() *SharedTab {
+	d := *s
+	d.buf = append([]int(nil), s.buf...)
+	return &d
+}
+
+// Same does not clone at all.
+type Same struct{ buf []int }
+
+func (s *Same) Clone() *Same {
+	return s // want `Clone of Same leaves reference field buf aliased to the receiver`
+}
+
+// Val re-backs its fields on a value receiver (already a copy at entry).
+// No findings.
+type Val struct{ buf []int }
+
+func (v Val) Clone() Val {
+	v.buf = append([]int(nil), v.buf...)
+	return v
+}
+
+// NoRefs has nothing to deep-copy; any body is fine.
+type NoRefs struct{ a, b uint64 }
+
+func (n *NoRefs) Clone() *NoRefs {
+	d := *n
+	return &d
+}

@@ -1,0 +1,144 @@
+// Package ctxblock enforces cancellation-awareness in pool goroutines: a
+// blocking channel send/receive or sync wait that a goroutine spawned in
+// internal/serve or internal/experiments can reach must be select-guarded
+// by a ctx.Done()/done-channel case or a default, or carry
+// `//pdede:blocking-ok`.
+//
+// Both packages run worker pools with bounded queues. A bare `ch <- x` in
+// a worker survives every test where the peer is alive — and deadlocks the
+// drain path the first time a tenant is shed or a run is cancelled between
+// the send and its receiver. The repository's idiom is
+//
+//	select {
+//	case ch <- x:
+//	case <-ctx.Done():
+//	}
+//
+// and this check makes the idiom mandatory wherever a pool goroutine can
+// block. Roots are `go` statements: a literal body is scanned directly,
+// named callees are closed over the in-package call graph, and every
+// blocking operation found (flowkit.BlockingOps) must be guarded.
+//
+// Two shapes pass by design:
+//
+//   - `for job := range queue` — the close-terminated drain loop;
+//     termination is the closer's obligation, not the ranger's.
+//   - a bare receive from a cancellation channel (`<-ctx.Done()`,
+//     `<-s.stop`) — blocking until shutdown is the point.
+//
+// Escape: `//pdede:blocking-ok <reason>` on the operation's line (or the
+// line above), or on the containing function's doc comment — for sends on
+// buffered channels with proven capacity (the reply-channel pattern) and
+// waits with externally-bounded latency.
+package ctxblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/flowkit"
+	"repro/internal/analysis/lintkit"
+)
+
+// Analyzer is the ctxblock lint pass.
+var Analyzer = &lintkit.Analyzer{
+	Name: "ctxblock",
+	Doc:  "blocking channel operations and sync waits reachable from serve/experiments pool goroutines must be select-guarded by ctx/done or annotated //pdede:blocking-ok",
+	Run:  run,
+}
+
+// scope: the two packages that spawn worker-pool goroutines.
+var scope = []string{"internal/serve", "internal/experiments"}
+
+func run(pass *lintkit.Pass) error {
+	if !pass.InScope(scope) {
+		return nil
+	}
+	cg := flowkit.BuildCallGraph(pass.Files, pass.Pkg, pass.TypesInfo)
+	sums := flowkit.BuildSummaries(cg, pass.Pkg, pass.TypesInfo)
+
+	var fns []*types.Func
+	for fn := range cg.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	// Roots: every `go` statement. Literal bodies contribute their blocking
+	// ops directly; named callees (and calls made inside literals) seed the
+	// call-graph closure.
+	type fileOp struct {
+		op   flowkit.BlockOp
+		file *ast.File
+	}
+	var litOps []fileOp
+	var targets []*types.Func
+	for _, fn := range fns {
+		fd := cg.Decls[fn]
+		file := cg.File(fn)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				for _, op := range flowkit.BlockingOps(lit.Body, pass.TypesInfo) {
+					litOps = append(litOps, fileOp{op: op, file: file})
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if c, ok := cg.CallAt(call); ok {
+						targets = append(targets, c.Targets...)
+					}
+					return true
+				})
+				return true
+			}
+			if c, ok := cg.CallAt(gs.Call); ok {
+				targets = append(targets, c.Targets...)
+			}
+			return true
+		})
+	}
+
+	reported := make(map[token.Pos]bool)
+	report := func(file *ast.File, enclosing *ast.FuncDecl, op flowkit.BlockOp) {
+		if op.Guarded || reported[op.Pos] {
+			return
+		}
+		reported[op.Pos] = true
+		if enclosing != nil && pass.FuncHasDirective(file, enclosing, "blocking-ok") {
+			return
+		}
+		if pass.NodeHasDirective(file, op.Node, "blocking-ok") {
+			return
+		}
+		pass.Reportf(op.Pos,
+			"pool goroutine can block forever: unguarded %s on %s — select it against ctx.Done()/a done channel (or //pdede:blocking-ok with the capacity argument)",
+			op.Kind, op.Expr)
+	}
+
+	closure := cg.Reachable(targets)
+	var reach []*types.Func
+	for fn := range closure {
+		reach = append(reach, fn)
+	}
+	sort.Slice(reach, func(i, j int) bool { return reach[i].FullName() < reach[j].FullName() })
+	for _, fn := range reach {
+		sum := sums.ByFunc[fn]
+		if sum == nil {
+			continue
+		}
+		for _, op := range sum.Blocking {
+			report(cg.File(fn), cg.Decls[fn], op)
+		}
+	}
+	for _, fo := range litOps {
+		report(fo.file, nil, fo.op)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package ctxblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxblock"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestCtxblock(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{ctxblock.Analyzer})
+}

@@ -1,0 +1,3 @@
+module fix
+
+go 1.22

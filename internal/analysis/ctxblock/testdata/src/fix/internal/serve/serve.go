@@ -1,0 +1,76 @@
+// Package serve exercises ctxblock: blocking operations reachable from
+// pool goroutines must be select-guarded by ctx/done or annotated.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan int
+	out  chan int
+	done chan struct{}
+}
+
+// start spawns the pool: a literal goroutine body and a named worker.
+func (p *pool) start(ctx context.Context) {
+	go p.work(ctx)
+	go func() {
+		p.jobs <- 1 // want `unguarded send on p.jobs`
+		select {
+		case p.jobs <- 2:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// work is reachable from the goroutine in start.
+func (p *pool) work(ctx context.Context) {
+	v := <-p.jobs // want `unguarded receive on p.jobs`
+	select {
+	case w := <-p.jobs:
+		v += w
+	default:
+	}
+	<-p.done // a done-channel receive: blocking until shutdown is the point
+	//pdede:blocking-ok reply channel is buffered with capacity 1
+	p.out <- v
+	p.forward(ctx, v)
+}
+
+// forward is reachable transitively (start → work → forward).
+func (p *pool) forward(ctx context.Context, v int) {
+	p.out <- v // want `unguarded send on p.out`
+	select {
+	case p.out <- v:
+	case <-ctx.Done():
+	}
+}
+
+// drain ranges over the queue: the close-terminated idiom is exempt.
+func (p *pool) drain() int {
+	total := 0
+	for v := range p.jobs {
+		total += v
+	}
+	return total
+}
+
+// spawnDrain proves the range exemption survives the closure walk.
+func (p *pool) spawnDrain() {
+	go p.drain()
+}
+
+// waitAll blocks on a WaitGroup from a pool goroutine.
+func (p *pool) waitAll(wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait() // want `unguarded sync wait on wg.Wait`
+	}()
+}
+
+// offPath blocks, but nothing spawns it as (or from) a goroutine: out of
+// scope for this check.
+func (p *pool) offPath() {
+	p.jobs <- 9
+}

@@ -51,12 +51,19 @@ var SimScope = []string{
 
 // ReportScope extends SimScope for the map-iteration check: these packages
 // render tables, JSON exports and keep-going reports whose bytes must be
-// stable across runs.
+// stable across runs. The cmd mains are included — they are where tables
+// actually reach stdout and files.
 var ReportScope = []string{
 	"internal/metrics",
 	"internal/experiments",
 	"internal/perf",
 	"internal/serve",
+	"cmd/pdede-analyze",
+	"cmd/pdede-bench",
+	"cmd/pdede-experiments",
+	"cmd/pdede-serve",
+	"cmd/pdede-sim",
+	"cmd/pdede-trace",
 }
 
 // Analyzer is the determinism check.

@@ -1,0 +1,189 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BlockingOps collects the potentially-blocking operations in a body:
+// channel sends, channel receives, and sync waits (WaitGroup.Wait,
+// Cond.Wait). Each op is classified as guarded or not:
+//
+//   - A send/receive inside a `select` is guarded when the select has a
+//     `default` clause or any sibling case is a cancellation receive
+//     (`<-ctx.Done()` or a done/stop/quit/close/cancel-named channel) —
+//     either way the select cannot hang on a dead peer.
+//   - A bare cancellation receive is guarded: blocking until shutdown *is*
+//     the idiom being demanded.
+//   - `for range ch` is exempt entirely: a close-terminated drain loop is
+//     the worker-pool idiom, and termination is the closer's obligation,
+//     enforced where the channel is closed, not at the range.
+//   - Everything else — bare sends, bare receives, sync waits — is
+//     unguarded.
+//
+// Bodies of nested function literals are included: a goroutine body is
+// almost always a literal.
+func BlockingOps(body ast.Node, info *types.Info) []BlockOp {
+	var ops []BlockOp
+	if body == nil {
+		return ops
+	}
+	// Comm statements that belong to a select clause are classified with
+	// the select's guardedness, not as bare ops.
+	inSelect := make(map[ast.Node]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			guarded := selectGuarded(n, info)
+			for _, clause := range n.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				inSelect[cc.Comm] = true
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					ops = append(ops, BlockOp{
+						Kind: BlockSend, Node: comm, Pos: comm.Arrow,
+						Guarded: guarded, Expr: types.ExprString(comm.Chan),
+					})
+				default:
+					if recv, ok := commRecv(cc.Comm); ok {
+						inSelect[recv] = true
+						ops = append(ops, BlockOp{
+							Kind: BlockRecv, Node: recv, Pos: recv.OpPos,
+							Guarded: guarded || cancellationRecv(recv, info),
+							Expr:    types.ExprString(recv.X),
+						})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if inSelect[n] {
+				return true
+			}
+			ops = append(ops, BlockOp{
+				Kind: BlockSend, Node: n, Pos: n.Arrow,
+				Expr: types.ExprString(n.Chan),
+			})
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect[n] {
+				return true
+			}
+			ops = append(ops, BlockOp{
+				Kind: BlockRecv, Node: n, Pos: n.OpPos,
+				Guarded: cancellationRecv(n, info),
+				Expr:    types.ExprString(n.X),
+			})
+		case *ast.RangeStmt:
+			// Exempt the ranged channel expression itself, keep walking the
+			// loop body.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ast.Inspect(n.X, func(m ast.Node) bool {
+						if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							inSelect[u] = true
+						}
+						return true
+					})
+				}
+			}
+		case *ast.CallExpr:
+			if isSyncWait(n, info) {
+				sel := n.Fun.(*ast.SelectorExpr)
+				ops = append(ops, BlockOp{
+					Kind: BlockWait, Node: n, Pos: n.Pos(),
+					Expr: types.ExprString(sel.X) + "." + sel.Sel.Name,
+				})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// commRecv extracts the receive expression of a select comm statement
+// (`case <-ch:`, `case v := <-ch:`, `case v, ok := <-ch:`).
+func commRecv(comm ast.Stmt) (*ast.UnaryExpr, bool) {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil, false
+	}
+	return u, true
+}
+
+// selectGuarded reports whether a select cannot hang on a dead peer: it has
+// a default clause, or one of its cases is a cancellation receive.
+func selectGuarded(sel *ast.SelectStmt, info *types.Info) bool {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default clause
+		}
+		if recv, ok := commRecv(cc.Comm); ok && cancellationRecv(recv, info) {
+			return true
+		}
+	}
+	return false
+}
+
+// cancellationRecv reports whether a receive waits on a cancellation
+// signal: `<-ctx.Done()` (any Done() call), or a channel whose rendered
+// name suggests shutdown (done, stop, quit, close, cancel).
+func cancellationRecv(recv *ast.UnaryExpr, info *types.Info) bool {
+	op := ast.Unparen(recv.X)
+	if call, ok := op.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	name := strings.ToLower(types.ExprString(op))
+	for _, hint := range []string{"done", "stop", "quit", "close", "cancel"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncWait reports whether a call is sync.WaitGroup.Wait or
+// sync.Cond.Wait — matched by the receiver's named type (package sync, or
+// a fixture type named like one).
+func isSyncWait(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+		return name == "WaitGroup" || name == "Cond"
+	}
+	return strings.HasSuffix(name, "WaitGroup") || strings.HasSuffix(name, "Cond")
+}

@@ -38,15 +38,20 @@ type CallGraph struct {
 	Calls map[*types.Func][]Call
 	// files maps each declaration to its enclosing file (for directives).
 	files map[*types.Func]*ast.File
+	// byExpr indexes every recorded call site by its expression, so
+	// analyzers walking an AST can recover the resolved targets of the call
+	// they are looking at.
+	byExpr map[*ast.CallExpr]Call
 }
 
 // BuildCallGraph constructs the package's call graph from its syntax and
 // type information.
 func BuildCallGraph(files []*ast.File, pkg *types.Package, info *types.Info) *CallGraph {
 	cg := &CallGraph{
-		Decls: make(map[*types.Func]*ast.FuncDecl),
-		Calls: make(map[*types.Func][]Call),
-		files: make(map[*types.Func]*ast.File),
+		Decls:  make(map[*types.Func]*ast.FuncDecl),
+		Calls:  make(map[*types.Func][]Call),
+		files:  make(map[*types.Func]*ast.File),
+		byExpr: make(map[*ast.CallExpr]Call),
 	}
 	for _, f := range files {
 		for _, d := range f.Decls {
@@ -96,6 +101,7 @@ func BuildCallGraph(files []*ast.File, pkg *types.Package, info *types.Info) *Ca
 				}
 			}
 			cg.Calls[fn] = append(cg.Calls[fn], c)
+			cg.byExpr[call] = c
 			return true
 		})
 	}
@@ -104,6 +110,56 @@ func BuildCallGraph(files []*ast.File, pkg *types.Package, info *types.Info) *Ca
 
 // File returns the file containing fn's declaration.
 func (cg *CallGraph) File(fn *types.Func) *ast.File { return cg.files[fn] }
+
+// CallAt returns the recorded call site for a call expression. Calls inside
+// function literals are recorded too (attributed to the enclosing
+// declaration), so this works for any call expression in a declared body.
+func (cg *CallGraph) CallAt(call *ast.CallExpr) (Call, bool) {
+	c, ok := cg.byExpr[call]
+	return c, ok
+}
+
+// ReachOpts filter a reachability walk: SkipFunc prunes a function (its
+// body is never entered), SkipCall prunes a single call edge.
+type ReachOpts struct {
+	// SkipFunc, when non-nil, excludes fn entirely (it is neither visited
+	// nor traversed).
+	SkipFunc func(fn *types.Func) bool
+	// SkipCall, when non-nil, excludes one call edge out of from.
+	SkipCall func(from *types.Func, c Call) bool
+}
+
+// ReachableWith is Reachable with per-function and per-edge pruning —
+// analyzers use it to respect escape directives on functions or call sites
+// during their closure walks.
+func (cg *CallGraph) ReachableWith(roots []*types.Func, opt ReachOpts) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		if _, ok := cg.Decls[fn]; !ok {
+			return
+		}
+		if opt.SkipFunc != nil && opt.SkipFunc(fn) {
+			return
+		}
+		seen[fn] = true
+		for _, c := range cg.Calls[fn] {
+			if opt.SkipCall != nil && opt.SkipCall(fn, c) {
+				continue
+			}
+			for _, t := range c.Targets {
+				visit(t)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
 
 // Reachable returns the set of in-package functions reachable from roots
 // through the graph's resolved targets (roots included).

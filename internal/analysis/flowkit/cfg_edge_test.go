@@ -1,0 +1,252 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// Satellite CFG edge cases: goto back into a loop body, defer inside
+// range, select with default, and labeled continue across nested loops.
+// Each test asserts the exact block/edge structure the builder commits to.
+
+func buildCFG(t *testing.T, src, fn string) *Graph {
+	t.Helper()
+	f, _, _ := check(t, src)
+	fd := fnDecl(t, f, fn)
+	return New(fd.Body)
+}
+
+// blockWith returns the unique block holding a statement matched by pred.
+func blockWith(t *testing.T, g *Graph, desc string, pred func(ast.Stmt) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if pred(s) {
+				if found != nil && found != b {
+					t.Fatalf("%s appears in blocks %d and %d", desc, found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %s", desc)
+	}
+	return found
+}
+
+func assignTo(name string, tok token.Token) func(ast.Stmt) bool {
+	return func(s ast.Stmt) bool {
+		a, ok := s.(*ast.AssignStmt)
+		if !ok || a.Tok != tok || len(a.Lhs) != 1 {
+			return false
+		}
+		id, ok := a.Lhs[0].(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func incOf(name string) func(ast.Stmt) bool {
+	return func(s ast.Stmt) bool {
+		i, ok := s.(*ast.IncDecStmt)
+		if !ok {
+			return false
+		}
+		id, ok := i.X.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func hasSingleSucc(t *testing.T, b *Block, want *Block, desc string) {
+	t.Helper()
+	if len(b.Succs) != 1 || b.Succs[0] != want {
+		t.Fatalf("%s: block %d succs = %v, want exactly block %d",
+			desc, b.Index, blockIndexes(b.Succs), want.Index)
+	}
+}
+
+func blockIndexes(bs []*Block) []int {
+	out := make([]int, len(bs))
+	for i, b := range bs {
+		out[i] = b.Index
+	}
+	return out
+}
+
+func TestCFGGotoIntoLoopBody(t *testing.T) {
+	g := buildCFG(t, `package p
+
+func gotoLoop(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+	retry:
+		t += xs[i]
+		if t < 0 {
+			t = 0
+			goto retry
+		}
+	}
+	return t
+}
+`, "gotoLoop")
+
+	label := blockWith(t, g, "t += xs[i] (the retry: label target)", assignTo("t", token.ADD_ASSIGN))
+	reset := blockWith(t, g, "t = 0 (before the goto)", assignTo("t", token.ASSIGN))
+
+	// The goto must land on the label-target block inside the loop body,
+	// forming a back edge from the if's then-branch.
+	hasSingleSucc(t, reset, label, "goto retry")
+	if len(label.Preds) < 2 {
+		t.Fatalf("label target block %d must be entered both by loop fall-in and the goto; preds = %v",
+			label.Index, blockIndexes(label.Preds))
+	}
+
+	// The goto creates a cycle: the label block reaches itself.
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				walk(s)
+			}
+		}
+	}
+	walk(label)
+	if !seen[label] {
+		t.Error("goto into the loop body must make the label block part of a cycle")
+	}
+}
+
+func TestCFGDeferInsideRange(t *testing.T) {
+	g := buildCFG(t, `package p
+
+func deferRange(xs []int) (t int) {
+	for _, x := range xs {
+		defer println(x)
+		t += x
+	}
+	return
+}
+`, "deferRange")
+
+	head := blockWith(t, g, "the range statement", func(s ast.Stmt) bool {
+		_, ok := s.(*ast.RangeStmt)
+		return ok
+	})
+	deferBlk := blockWith(t, g, "the defer statement", func(s ast.Stmt) bool {
+		_, ok := s.(*ast.DeferStmt)
+		return ok
+	})
+	ret := blockWith(t, g, "the return statement", func(s ast.Stmt) bool {
+		_, ok := s.(*ast.ReturnStmt)
+		return ok
+	})
+
+	// Range head branches exactly two ways: into the body and past the
+	// loop (empty collection).
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head %d succs = %v, want body+after", head.Index, blockIndexes(head.Succs))
+	}
+	if head.Succs[0] != deferBlk && head.Succs[1] != deferBlk {
+		t.Fatalf("defer must sit in the loop body block, a direct successor of the head; head succs = %v, defer in %d",
+			blockIndexes(head.Succs), deferBlk.Index)
+	}
+	// The body loops straight back to the head (continueTo = head for range).
+	hasSingleSucc(t, deferBlk, head, "range body")
+	// The after block falls into the return.
+	after := head.Succs[0]
+	if after == deferBlk {
+		after = head.Succs[1]
+	}
+	if after != ret {
+		t.Fatalf("range after-block %d should hold the return; return is in %d", after.Index, ret.Index)
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	g := buildCFG(t, `package p
+
+func selDefault(ch chan int) int {
+	t := 0
+	select {
+	case v := <-ch:
+		t = v
+	default:
+		t = -1
+	}
+	return t
+}
+`, "selDefault")
+
+	head := blockWith(t, g, "t := 0 (the block entering the select)", assignTo("t", token.DEFINE))
+	recv := blockWith(t, g, "the comm clause (v := <-ch)", assignTo("v", token.DEFINE))
+	ret := blockWith(t, g, "the return statement", func(s ast.Stmt) bool {
+		_, ok := s.(*ast.ReturnStmt)
+		return ok
+	})
+
+	// With a default clause the head must NOT keep a bypass edge to the
+	// join: exactly one successor per clause.
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head %d succs = %v, want exactly the two clause blocks (no join bypass)",
+			head.Index, blockIndexes(head.Succs))
+	}
+	if head.Succs[0] != recv && head.Succs[1] != recv {
+		t.Fatalf("comm clause block %d must be a direct successor of the head (succs %v)",
+			recv.Index, blockIndexes(head.Succs))
+	}
+	// Both clauses converge on the same join, which runs the return.
+	hasSingleSucc(t, head.Succs[0], ret, "first select clause")
+	hasSingleSucc(t, head.Succs[1], ret, "second select clause")
+}
+
+func TestCFGLabeledContinueAcrossNestedLoops(t *testing.T) {
+	g := buildCFG(t, `package p
+
+func nested(xss [][]int) int {
+	t := 0
+outer:
+	for i := 0; i < len(xss); i++ {
+		for j := 0; j < len(xss[i]); j++ {
+			if xss[i][j] < 0 {
+				continue outer
+			}
+			t += xss[i][j]
+		}
+	}
+	return t
+}
+`, "nested")
+
+	outerPost := blockWith(t, g, "i++ (outer post)", incOf("i"))
+	innerPost := blockWith(t, g, "j++ (inner post)", incOf("j"))
+	body := blockWith(t, g, "t += xss[i][j] (inner loop body tail)", assignTo("t", token.ADD_ASSIGN))
+
+	// `continue outer` must jump to the OUTER loop's post block, skipping
+	// j++ entirely. The branch lives in the if's then-block: empty, one
+	// successor, sharing its predecessor with the statement after the if.
+	if len(body.Preds) != 1 {
+		t.Fatalf("inner body tail %d preds = %v, want the if-condition block only",
+			body.Index, blockIndexes(body.Preds))
+	}
+	condBlk := body.Preds[0]
+	var thenBlk *Block
+	for _, s := range condBlk.Succs {
+		if s != body && len(s.Stmts) == 0 {
+			thenBlk = s
+		}
+	}
+	if thenBlk == nil {
+		t.Fatalf("if-condition block %d has no empty then-block among succs %v",
+			condBlk.Index, blockIndexes(condBlk.Succs))
+	}
+	hasSingleSucc(t, thenBlk, outerPost, "continue outer")
+	if thenBlk.Succs[0] == innerPost {
+		t.Fatal("labeled continue must not fall into the inner post block")
+	}
+	// The ordinary path still runs the inner post.
+	hasSingleSucc(t, body, innerPost, "inner body fallthrough")
+}

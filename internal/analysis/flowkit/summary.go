@@ -1,0 +1,671 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Interprocedural summaries. BuildSummaries condenses every function body in
+// the package into a Summary: the storage the function writes (rooted at its
+// receiver, parameters, or package-level variables, resolved through local
+// aliases), the parameters its results may retain, and the blocking
+// operations its body performs. Summaries are computed bottom-up over the
+// strongly-connected components of the class-hierarchy call graph, with a
+// fixpoint inside each SCC, so a caller's summary includes the effects of
+// everything it may reach in the package — the per-package equivalent of a
+// whole-program escape/mod-ref analysis, within the vet unit model where
+// dependency bodies are unavailable.
+//
+// Three analyzers consume them: statepurity (which storage does a Lookup
+// path reach), clonecomplete (may a helper's result alias its argument),
+// and frozen (is a post-construction write reachable for an immutable
+// type). ctxblock consumes the per-function blocking facts.
+
+// RootKind classifies the base variable of an Effect path.
+type RootKind int
+
+const (
+	// RootLocal roots the path at a plain local (function-private storage,
+	// unless the local aliases something — aliases are resolved before the
+	// root is classified, so a remaining RootLocal really is private).
+	RootLocal RootKind = iota
+	// RootRecv roots the path at the method receiver.
+	RootRecv
+	// RootParam roots the path at parameter Effect.Param.
+	RootParam
+	// RootGlobal roots the path at a package-level variable.
+	RootGlobal
+)
+
+// WriteOp is the syntactic shape of a write Effect.
+type WriteOp int
+
+const (
+	// OpAssign is an assignment or composite update (=, +=, ...).
+	OpAssign WriteOp = iota
+	// OpIncDec is x++ / x--.
+	OpIncDec
+	// OpDelete is the builtin delete(m, k).
+	OpDelete
+)
+
+// Effect is one write a function performs, resolved through local aliases
+// to the storage it reaches. For propagated effects (FromCall != nil) the
+// path is the call-site binding joined with the callee's path: a callee
+// writing recv.tag, called as b.inner.Update(...), yields an Effect with
+// Fields [inner, tag] in the caller.
+type Effect struct {
+	// Kind classifies Base.
+	Kind RootKind
+	// Param is the parameter index when Kind == RootParam.
+	Param int
+	// Base is the root variable of the written path.
+	Base *types.Var
+	// Fields are the struct fields selected from Base, outermost first.
+	Fields []*types.Var
+	// Op is the write's syntactic shape.
+	Op WriteOp
+	// Node is the statement (or call) in *this* function that performs or
+	// triggers the write — the anchor for escape directives.
+	Node ast.Node
+	// Pos is where the underlying write happens: Node.Pos for direct
+	// effects, the callee's write position for propagated ones.
+	Pos token.Pos
+	// Indirect marks writes that reach storage through a deref, an index
+	// step, a resolved alias, or a reference-typed intermediate field —
+	// i.e. writes that escape a by-value copy of the root.
+	Indirect bool
+	// FromCall is the resolved callee for effects propagated from call
+	// sites; nil for the function's own writes.
+	FromCall *types.Func
+}
+
+// BlockKind classifies a blocking operation.
+type BlockKind int
+
+const (
+	// BlockSend is a channel send.
+	BlockSend BlockKind = iota
+	// BlockRecv is a channel receive.
+	BlockRecv
+	// BlockWait is sync.WaitGroup.Wait or sync.Cond.Wait.
+	BlockWait
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockSend:
+		return "send"
+	case BlockRecv:
+		return "receive"
+	case BlockWait:
+		return "sync wait"
+	}
+	return "block"
+}
+
+// BlockOp is one potentially-blocking operation in a function body.
+type BlockOp struct {
+	// Kind is the operation's shape.
+	Kind BlockKind
+	// Node is the send statement, receive expression, or Wait call.
+	Node ast.Node
+	// Pos anchors diagnostics.
+	Pos token.Pos
+	// Guarded reports the operation cannot block indefinitely on a dead
+	// peer: it is a select case alongside a ctx/done case or a default.
+	Guarded bool
+	// Expr renders the operand channel (or wait target) for diagnostics.
+	Expr string
+}
+
+// Summary is the interprocedural condensation of one function.
+type Summary struct {
+	// Fn is the summarized function.
+	Fn *types.Func
+	// Direct are the function body's own write effects.
+	Direct []Effect
+	// Writes is Direct plus every callee effect translated through the
+	// call-site bindings (receiver/parameter/global-rooted callee writes
+	// only — a callee's writes to its own locals are invisible by
+	// construction).
+	Writes []Effect
+	// Retains lists the parameter indices (receiver = -1) whose storage a
+	// result of the function may alias: `return p.buf` retains p.
+	Retains []int
+	// Blocking are the body's own blocking operations, including those
+	// inside nested function literals.
+	Blocking []BlockOp
+}
+
+// RetainsParam reports whether a result may alias parameter i (receiver
+// = -1).
+func (s *Summary) RetainsParam(i int) bool {
+	for _, p := range s.Retains {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Summaries holds every function summary of one package.
+type Summaries struct {
+	// ByFunc maps each in-package function to its summary.
+	ByFunc map[*types.Func]*Summary
+	// SCCs lists the call graph's strongly-connected components in
+	// bottom-up (callee-before-caller) order.
+	SCCs [][]*types.Func
+
+	cg   *CallGraph
+	info *types.Info
+	pkg  *types.Package
+}
+
+// maxFieldChain bounds propagated field chains: recursive structures
+// (list.next.next...) would otherwise grow a chain per fixpoint round.
+// Chains are truncated, never dropped, so the effect stays visible at a
+// coarser path.
+const maxFieldChain = 8
+
+// BuildSummaries computes the package's function summaries bottom-up over
+// the call graph's SCC condensation.
+func BuildSummaries(cg *CallGraph, pkg *types.Package, info *types.Info) *Summaries {
+	s := &Summaries{
+		ByFunc: make(map[*types.Func]*Summary, len(cg.Decls)),
+		cg:     cg,
+		info:   info,
+		pkg:    pkg,
+	}
+	s.SCCs = condense(cg)
+
+	// Direct effects, retention seeds and blocking facts first: they do not
+	// depend on callees.
+	for _, scc := range s.SCCs {
+		for _, fn := range scc {
+			s.ByFunc[fn] = s.direct(fn)
+		}
+	}
+	// Bottom-up propagation, iterated to fixpoint inside each SCC (mutual
+	// recursion). The lattices are finite — effect paths are truncated at
+	// maxFieldChain and retention is a subset of parameter indices — so
+	// each SCC converges.
+	for _, scc := range s.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range scc {
+				if s.propagate(fn) {
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// direct summarizes one function body in isolation.
+func (s *Summaries) direct(fn *types.Func) *Summary {
+	sum := &Summary{Fn: fn}
+	fd := s.cg.Decls[fn]
+	if fd == nil || fd.Body == nil {
+		return sum
+	}
+	aliases := CollectAliases(fd, s.info)
+	recv, params := signatureVars(s.info, fd)
+
+	record := func(node ast.Node, op WriteOp, lhs ast.Expr) {
+		eff, ok := s.resolveEffect(lhs, aliases, recv, params)
+		if !ok {
+			return
+		}
+		eff.Op = op
+		if op == OpDelete {
+			eff.Indirect = true // deleting mutates the map's shared storage
+		}
+		eff.Node = node
+		eff.Pos = node.Pos()
+		sum.Direct = append(sum.Direct, eff)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				record(n, OpAssign, lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n, OpIncDec, n.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := s.info.Uses[id].(*types.Builtin); isBuiltin {
+					record(n, OpDelete, n.Args[0])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				sum.Retains = mergeRetains(sum.Retains, s.returnRetains(res, aliases, recv, params))
+			}
+		}
+		return true
+	})
+	sum.Blocking = BlockingOps(fd.Body, s.info)
+	sum.Writes = append([]Effect(nil), sum.Direct...)
+	return sum
+}
+
+// resolveEffect reduces an lvalue to an Effect, resolving local aliases and
+// classifying the root. A plain identifier LHS rebinds the local — the
+// binding itself is function-private storage even when the local aliases
+// shared state — so it resolves without the alias map, exactly like a
+// def-site.
+func (s *Summaries) resolveEffect(lhs ast.Expr, aliases map[*types.Var]*Path,
+	recv *types.Var, params []*types.Var) (Effect, bool) {
+
+	lhsAliases := aliases
+	_, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if isIdent {
+		lhsAliases = nil
+	}
+	p, ok := ResolvePath(s.info, lhs, lhsAliases)
+	if !ok {
+		return Effect{}, false
+	}
+	eff := Effect{Base: p.Base, Fields: p.Fields}
+	eff.Kind, eff.Param = classifyRoot(p.Base, recv, params, s.pkg)
+	if !isIdent {
+		eff.Indirect = writeIsIndirect(s.info, lhs, p, aliases)
+	}
+	return eff, true
+}
+
+// classifyRoot decides which RootKind a path base is in the context of one
+// function.
+func classifyRoot(base *types.Var, recv *types.Var, params []*types.Var, pkg *types.Package) (RootKind, int) {
+	if recv != nil && base == recv {
+		return RootRecv, 0
+	}
+	for i, p := range params {
+		if base == p {
+			return RootParam, i
+		}
+	}
+	if pkg != nil && base.Parent() == pkg.Scope() {
+		return RootGlobal, 0
+	}
+	return RootLocal, 0
+}
+
+// writeIsIndirect reports whether the write escapes a by-value copy of the
+// root: it dereferences, indexes, resolves through an alias local, or
+// crosses a reference-typed intermediate field — or the root is itself a
+// pointer. A value-receiver `b.seen = 3` fails all of these (the caller's
+// copy is untouched); `b.entries[i].valid = true` indexes into a slice
+// field, whose backing array IS shared with the caller.
+func writeIsIndirect(info *types.Info, lhs ast.Expr, p *Path, aliases map[*types.Var]*Path) bool {
+	indirect := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.StarExpr, *ast.IndexExpr:
+			indirect = true
+		case *ast.Ident:
+			if v, ok := objVarOf(info, x); ok {
+				if _, isAlias := aliases[v]; isAlias {
+					indirect = true
+				}
+			}
+		}
+		return true
+	})
+	for i, f := range p.Fields {
+		if i == len(p.Fields)-1 {
+			break
+		}
+		if aliasesStorage(f.Type()) {
+			indirect = true
+		}
+	}
+	if _, isPtr := p.Base.Type().Underlying().(*types.Pointer); isPtr {
+		indirect = true
+	}
+	return indirect
+}
+
+func objVarOf(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// returnRetains computes which parameters a returned expression may alias.
+func (s *Summaries) returnRetains(res ast.Expr, aliases map[*types.Var]*Path,
+	recv *types.Var, params []*types.Var) []int {
+
+	res = ast.Unparen(res)
+	// A returned call: the callee's retention, translated through its
+	// arguments. Out-of-package callees are opaque; methods named Clone are
+	// trusted fresh by convention (the whole point of the method).
+	if call, ok := res.(*ast.CallExpr); ok {
+		return s.callRetains(call, aliases, recv, params)
+	}
+	// Slicing or taking the address of a path keeps the alias.
+	switch e := res.(type) {
+	case *ast.SliceExpr:
+		res = e.X
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			res = e.X
+		}
+	}
+	p, ok := ResolvePath(s.info, res, aliases)
+	if !ok {
+		return nil
+	}
+	if t := s.info.TypeOf(res); t != nil && !typeRetainsStorage(t, 0) {
+		return nil
+	}
+	kind, idx := classifyRoot(p.Base, recv, params, s.pkg)
+	switch kind {
+	case RootRecv:
+		return []int{-1}
+	case RootParam:
+		return []int{idx}
+	}
+	return nil
+}
+
+// callRetains translates a returned call's retention through its argument
+// bindings: `return helper(p.buf)` retains p when helper's summary retains
+// its first parameter.
+func (s *Summaries) callRetains(call *ast.CallExpr, aliases map[*types.Var]*Path,
+	recv *types.Var, params []*types.Var) []int {
+
+	c, ok := s.cg.CallAt(call)
+	if !ok || len(c.Targets) == 0 {
+		return nil
+	}
+	var out []int
+	for _, t := range c.Targets {
+		tsum := s.ByFunc[t]
+		if tsum == nil {
+			continue
+		}
+		for _, ri := range tsum.Retains {
+			arg := bindCallArg(call, c, ri)
+			if arg == nil {
+				continue
+			}
+			p, ok := ResolvePath(s.info, arg, aliases)
+			if !ok {
+				continue
+			}
+			kind, idx := classifyRoot(p.Base, recv, params, s.pkg)
+			switch kind {
+			case RootRecv:
+				out = mergeRetains(out, []int{-1})
+			case RootParam:
+				out = mergeRetains(out, []int{idx})
+			}
+		}
+	}
+	return out
+}
+
+// bindCallArg returns the call-site expression bound to the callee's
+// parameter index (receiver = -1), or nil when the binding is not simple
+// (variadic spread mismatch, method expression, ...).
+func bindCallArg(call *ast.CallExpr, c Call, idx int) ast.Expr {
+	if idx == -1 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return sel.X
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return nil
+	}
+	return call.Args[idx]
+}
+
+// propagate folds callee summaries into fn's Writes and Retains, reporting
+// whether anything changed.
+func (s *Summaries) propagate(fn *types.Func) bool {
+	sum := s.ByFunc[fn]
+	fd := s.cg.Decls[fn]
+	if sum == nil || fd == nil || fd.Body == nil {
+		return false
+	}
+	aliases := CollectAliases(fd, s.info)
+	recv, params := signatureVars(s.info, fd)
+
+	seen := make(map[string]bool, len(sum.Writes))
+	for _, e := range sum.Writes {
+		seen[effectKey(e)] = true
+	}
+	changed := false
+	add := func(e Effect) {
+		if len(e.Fields) > maxFieldChain {
+			e.Fields = e.Fields[:maxFieldChain]
+		}
+		k := effectKey(e)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		sum.Writes = append(sum.Writes, e)
+		changed = true
+	}
+
+	for _, c := range s.cg.Calls[fn] {
+		for _, t := range c.Targets {
+			tsum := s.ByFunc[t]
+			if tsum == nil {
+				continue
+			}
+			for _, eff := range tsum.Writes {
+				switch eff.Kind {
+				case RootGlobal:
+					ne := eff
+					ne.Node = c.Expr
+					ne.FromCall = t
+					add(ne)
+				case RootRecv, RootParam:
+					if !eff.Indirect {
+						// The callee wrote a by-value copy of its receiver
+						// or parameter; the caller's storage is untouched.
+						continue
+					}
+					idx := eff.Param
+					if eff.Kind == RootRecv {
+						idx = -1
+					}
+					arg := bindCallArg(c.Expr, c, idx)
+					if arg == nil {
+						continue
+					}
+					p, ok := ResolvePath(s.info, arg, aliases)
+					if !ok {
+						continue
+					}
+					ne := Effect{
+						Base:     p.Base,
+						Fields:   append(append([]*types.Var(nil), p.Fields...), eff.Fields...),
+						Op:       eff.Op,
+						Node:     c.Expr,
+						Pos:      eff.Pos,
+						Indirect: true,
+						FromCall: t,
+					}
+					ne.Kind, ne.Param = classifyRoot(p.Base, recv, params, s.pkg)
+					add(ne)
+				}
+			}
+		}
+	}
+
+	// Retention through calls discovered after the callee's fixpoint round.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			merged := mergeRetains(sum.Retains, s.returnRetains(res, aliases, recv, params))
+			if len(merged) != len(sum.Retains) {
+				sum.Retains = merged
+				changed = true
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// effectKey renders an Effect for deduplication.
+func effectKey(e Effect) string {
+	var b strings.Builder
+	b.WriteString(e.Base.Name())
+	for _, f := range e.Fields {
+		b.WriteByte('.')
+		b.WriteString(f.Name())
+	}
+	if e.FromCall != nil {
+		b.WriteByte('@')
+		b.WriteString(e.FromCall.FullName())
+	}
+	return b.String()
+}
+
+func mergeRetains(have, more []int) []int {
+	for _, m := range more {
+		found := false
+		for _, h := range have {
+			if h == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			have = append(have, m)
+		}
+	}
+	sort.Ints(have)
+	return have
+}
+
+// signatureVars extracts the receiver and parameter variables of a
+// declaration.
+func signatureVars(info *types.Info, fd *ast.FuncDecl) (recv *types.Var, params []*types.Var) {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if v, ok := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var); ok {
+			recv = v
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					params = append(params, v)
+				}
+			}
+		}
+	}
+	return recv, params
+}
+
+// typeRetainsStorage reports whether a value of type t can carry an alias
+// to its source's storage: pointers, slices, maps and channels do directly;
+// structs and arrays do when a (transitive) field or element does. depth
+// caps recursion through self-referential types.
+func typeRetainsStorage(t types.Type, depth int) bool {
+	if depth > 4 {
+		return true // deep/recursive: assume the worst
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Array:
+		return typeRetainsStorage(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeRetainsStorage(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condense computes the call graph's SCCs (Tarjan) in deterministic
+// bottom-up order: every edge leaves a later component toward an earlier
+// one, so iterating SCCs in order visits callees before callers.
+func condense(cg *CallGraph) [][]*types.Func {
+	fns := make([]*types.Func, 0, len(cg.Decls))
+	for fn := range cg.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+
+	index := make(map[*types.Func]int, len(fns))
+	low := make(map[*types.Func]int, len(fns))
+	onStack := make(map[*types.Func]bool, len(fns))
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+
+	var strongconnect func(fn *types.Func)
+	strongconnect = func(fn *types.Func) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+
+		for _, c := range cg.Calls[fn] {
+			for _, t := range c.Targets {
+				if _, ok := cg.Decls[t]; !ok {
+					continue
+				}
+				if _, visited := index[t]; !visited {
+					strongconnect(t)
+					if low[t] < low[fn] {
+						low[fn] = low[t]
+					}
+				} else if onStack[t] && index[t] < low[fn] {
+					low[fn] = index[t]
+				}
+			}
+		}
+
+		if low[fn] == index[fn] {
+			var scc []*types.Func
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == fn {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i].FullName() < scc[j].FullName() })
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fn := range fns {
+		if _, visited := index[fn]; !visited {
+			strongconnect(fn)
+		}
+	}
+	return sccs
+}

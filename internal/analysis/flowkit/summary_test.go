@@ -1,0 +1,259 @@
+package flowkit
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+const sumSrc = `package p
+
+type inner struct{ n int }
+
+type outer struct {
+	in   inner
+	vals []int
+}
+
+func (o *outer) setN(v int) { o.in.n = v }
+
+func (o *outer) bump() { o.setN(o.in.n + 1) }
+
+var counter int
+
+func incr() { counter++ }
+
+func chainIncr() { incr() }
+
+func retain(o *outer) []int { return o.vals }
+
+func retainChain(o *outer) []int { return retain(o) }
+
+func freshVals(o *outer) []int { return append([]int(nil), o.vals...) }
+
+func valRecv(o outer) { o.in.n = 5 }
+
+func callsValRecv(o *outer) { valRecv(*o) }
+
+func even(n int, o *outer) bool {
+	if n == 0 {
+		o.in.n = 0
+		return true
+	}
+	return odd(n-1, o)
+}
+
+func odd(n int, o *outer) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n-1, o)
+}
+`
+
+func buildSums(t *testing.T, src string) (*CallGraph, *Summaries, map[string]*types.Func) {
+	t.Helper()
+	f, pkg, info := check(t, src)
+	cg := BuildCallGraph([]*ast.File{f}, pkg, info)
+	sums := BuildSummaries(cg, pkg, info)
+	byName := make(map[string]*types.Func)
+	for fn := range cg.Decls {
+		byName[fn.Name()] = fn
+	}
+	return cg, sums, byName
+}
+
+func hasWrite(sum *Summary, kind RootKind, fields ...string) bool {
+	for _, e := range sum.Writes {
+		if e.Kind != kind || len(e.Fields) != len(fields) {
+			continue
+		}
+		ok := true
+		for i, f := range e.Fields {
+			if f.Name() != fields[i] {
+				ok = false
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSummaryPropagatesReceiverWrites(t *testing.T) {
+	_, sums, fns := buildSums(t, sumSrc)
+	bump := sums.ByFunc[fns["bump"]]
+	if len(bump.Direct) != 0 {
+		t.Errorf("bump has no own writes, got %d", len(bump.Direct))
+	}
+	if !hasWrite(bump, RootRecv, "in", "n") {
+		t.Errorf("bump must inherit setN's receiver write o.in.n; writes: %v", bump.Writes)
+	}
+	// The propagated effect must name its origin.
+	for _, e := range bump.Writes {
+		if e.Kind == RootRecv && e.FromCall == nil {
+			t.Errorf("propagated write lost FromCall: %+v", e)
+		}
+	}
+}
+
+func TestSummaryPropagatesGlobalWrites(t *testing.T) {
+	_, sums, fns := buildSums(t, sumSrc)
+	if !hasWrite(sums.ByFunc[fns["chainIncr"]], RootGlobal) {
+		t.Error("chainIncr must inherit incr's write to the package-level counter")
+	}
+}
+
+func TestSummaryRetention(t *testing.T) {
+	_, sums, fns := buildSums(t, sumSrc)
+	if got := sums.ByFunc[fns["retain"]]; !got.RetainsParam(0) {
+		t.Errorf("retain returns its parameter's slice, Retains = %v", got.Retains)
+	}
+	if got := sums.ByFunc[fns["retainChain"]]; !got.RetainsParam(0) {
+		t.Errorf("retainChain launders retention through a call, Retains = %v", got.Retains)
+	}
+	if got := sums.ByFunc[fns["freshVals"]]; len(got.Retains) != 0 {
+		t.Errorf("freshVals reallocates, Retains = %v", got.Retains)
+	}
+}
+
+func TestSummaryValueCopyDoesNotPropagate(t *testing.T) {
+	_, sums, fns := buildSums(t, sumSrc)
+	// valRecv writes a by-value receiver copy; the caller's storage is
+	// untouched, so nothing may propagate.
+	caller := sums.ByFunc[fns["callsValRecv"]]
+	if len(caller.Writes) != 0 {
+		t.Errorf("value-receiver write leaked into caller: %v", caller.Writes)
+	}
+}
+
+func TestSummarySCCFixpoint(t *testing.T) {
+	_, sums, fns := buildSums(t, sumSrc)
+	var found bool
+	for _, scc := range sums.SCCs {
+		if len(scc) == 2 {
+			names := map[string]bool{scc[0].Name(): true, scc[1].Name(): true}
+			if names["even"] && names["odd"] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("even/odd must form one SCC: %v", sums.SCCs)
+	}
+	// odd writes nothing itself but reaches even's o.in.n through the
+	// cycle; the fixpoint must deliver it.
+	odd := sums.ByFunc[fns["odd"]]
+	if !hasWrite(odd, RootParam, "in", "n") {
+		t.Errorf("odd must inherit even's write through the SCC: %v", odd.Writes)
+	}
+}
+
+const blockSrc = `package p
+
+func blockOps(ch chan int, done chan struct{}) {
+	ch <- 1
+	<-ch
+	<-done
+	select {
+	case ch <- 2:
+	default:
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	case <-done:
+	}
+	for range ch {
+	}
+}
+
+type myWaitGroup struct{}
+
+func (w *myWaitGroup) Wait() {}
+
+func waitOp(w *myWaitGroup) { w.Wait() }
+`
+
+func TestBlockingOpsClassification(t *testing.T) {
+	f, _, info := check(t, blockSrc)
+	fd := fnDecl(t, f, "blockOps")
+	ops := BlockingOps(fd.Body, info)
+	if len(ops) != 6 {
+		t.Fatalf("want 6 blocking ops (range-over-channel exempt), got %d: %+v", len(ops), ops)
+	}
+	var unguarded []BlockOp
+	for _, op := range ops {
+		if !op.Guarded {
+			unguarded = append(unguarded, op)
+		}
+	}
+	if len(unguarded) != 2 {
+		t.Fatalf("want 2 unguarded ops (bare send, bare recv), got %d: %+v", len(unguarded), unguarded)
+	}
+	if unguarded[0].Kind != BlockSend || unguarded[0].Expr != "ch" {
+		t.Errorf("first unguarded op = %+v, want send on ch", unguarded[0])
+	}
+	if unguarded[1].Kind != BlockRecv || unguarded[1].Expr != "ch" {
+		t.Errorf("second unguarded op = %+v, want receive on ch", unguarded[1])
+	}
+}
+
+func TestBlockingOpsSyncWait(t *testing.T) {
+	f, _, info := check(t, blockSrc)
+	fd := fnDecl(t, f, "waitOp")
+	ops := BlockingOps(fd.Body, info)
+	if len(ops) != 1 || ops[0].Kind != BlockWait || ops[0].Guarded {
+		t.Fatalf("want one unguarded sync wait, got %+v", ops)
+	}
+}
+
+func TestCallAt(t *testing.T) {
+	f, pkg, info := check(t, sumSrc)
+	cg := BuildCallGraph([]*ast.File{f}, pkg, info)
+	fd := fnDecl(t, f, "bump")
+	var call *ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return true
+	})
+	c, ok := cg.CallAt(call)
+	if !ok || len(c.Targets) != 1 || c.Targets[0].Name() != "setN" {
+		t.Fatalf("CallAt(bump's call) = %+v, %v; want setN target", c, ok)
+	}
+}
+
+func TestReachableWithPruning(t *testing.T) {
+	f, pkg, info := check(t, sumSrc)
+	cg := BuildCallGraph([]*ast.File{f}, pkg, info)
+	var bump, setN *types.Func
+	for fn := range cg.Decls {
+		switch fn.Name() {
+		case "bump":
+			bump = fn
+		case "setN":
+			setN = fn
+		}
+	}
+	all := cg.ReachableWith([]*types.Func{bump}, ReachOpts{})
+	if !all[setN] {
+		t.Fatal("setN must be reachable from bump with no pruning")
+	}
+	pruned := cg.ReachableWith([]*types.Func{bump}, ReachOpts{
+		SkipCall: func(from *types.Func, c Call) bool {
+			return c.Callee != nil && c.Callee.Name() == "setN"
+		},
+	})
+	if pruned[setN] {
+		t.Error("setN must be pruned by SkipCall")
+	}
+	skipped := cg.ReachableWith([]*types.Func{bump}, ReachOpts{
+		SkipFunc: func(fn *types.Func) bool { return fn == bump },
+	})
+	if len(skipped) != 0 {
+		t.Errorf("SkipFunc on the root must empty the closure: %v", skipped)
+	}
+}

@@ -1,0 +1,13 @@
+package frozen_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/frozen"
+	"repro/internal/analysis/lintkit"
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+func TestFrozen(t *testing.T) {
+	linttest.Run(t, "testdata/src/fix", []*lintkit.Analyzer{frozen.Analyzer})
+}

@@ -1,0 +1,100 @@
+// Package frozenfix exercises frozen: //pdede:frozen types may only be
+// written while still private to their constructor.
+package frozenfix
+
+import "strings"
+
+// Warm mirrors core.WarmState: built once, then shared lock-free.
+//
+//pdede:frozen
+type Warm struct {
+	seen int
+	recs []int
+}
+
+// Build is the constructor: w is a fresh local, so the direct writes and
+// the receiver writes inside step are all construction-time.
+func Build(n int) *Warm {
+	w := &Warm{}
+	w.seen = 0
+	for i := 0; i < n; i++ {
+		w.step(i)
+	}
+	return w
+}
+
+// step writes its receiver — legal because its only call site binds the
+// receiver to Build's fresh local.
+func (w *Warm) step(i int) {
+	w.seen++
+	w.recs = append(w.recs, i)
+}
+
+// fill2 is only reached with already-escaped state (Taint's parameter), so
+// its write is rejected interprocedurally.
+func fill2(w *Warm) {
+	w.seen = 99 // want `write to seen of //pdede:frozen type Warm outside construction`
+}
+
+// Taint hands its escaped parameter to fill2.
+func Taint(w *Warm) {
+	fill2(w)
+}
+
+// Mutate writes an escaped value directly: a parameter of an exported
+// function is post-construction by definition.
+func Mutate(w *Warm) {
+	w.seen = 0 // want `write to seen of //pdede:frozen type Warm outside construction`
+}
+
+// Reset is an exported method: callable on any escaped value.
+func (w *Warm) Reset() {
+	w.recs = nil // want `write to recs of //pdede:frozen type Warm outside construction`
+}
+
+// ReadCopy writes a by-value copy: the shared object is untouched.
+func ReadCopy(w Warm) int {
+	w.seen = 1
+	return w.seen
+}
+
+// Sneaky writes through the slice field of escaped state.
+func Sneaky(w *Warm) {
+	w.recs[0] = 9 // want `write to recs of //pdede:frozen type Warm outside construction`
+}
+
+// Restore deliberately re-seeds after a checkpoint reload.
+//
+//pdede:frozen-ok restore path rebuilds the snapshot before republishing it
+func Restore(w *Warm) {
+	w.seen = 7
+}
+
+// Snap holds a mutable object behind a frozen field: mutator-named calls
+// into other packages count as writes.
+//
+//pdede:frozen
+type Snap struct {
+	b *strings.Builder
+}
+
+// NewSnap may call mutators during construction: s is a fresh local.
+func NewSnap() *Snap {
+	s := &Snap{b: new(strings.Builder)}
+	s.b.Reset()
+	return s
+}
+
+// TaintSnap mutates the frozen object graph after escape.
+func TaintSnap(s *Snap) {
+	s.b.Reset() // want `call mutates b of //pdede:frozen type Snap outside construction`
+}
+
+// Thawed is not annotated: writes anywhere are fine.
+type Thawed struct {
+	seen int
+}
+
+func Poke(t *Thawed) {
+	t.seen++
+}

@@ -9,12 +9,12 @@
 // (the probe memos and observability counters), never entries, tags,
 // refcounts or replacement state. Update, at commit, is the sole mutator.
 //
-// The check is flow-aware where it matters: writes through locals that
-// alias architectural storage (`e := &b.entries[i]; e.target = t`) are
-// traced back to the field they reach, and calls are followed through the
-// in-package call graph (with class-hierarchy resolution of interface
-// dispatch). Callees whose bodies live in other packages cannot be
-// inspected under the per-package vet model, so calls to pointer-receiver
+// The check runs on flowkit's interprocedural summaries: each reachable
+// function's write set (field-sensitive, alias-resolved — `e :=
+// &b.entries[i]; e.target = t` is traced back to b.entries) is judged
+// directly, and the reachability closure is the call graph's, pruned at
+// escape directives. Callees whose bodies live in other packages cannot be
+// summarized under the per-package vet model, so calls to pointer-receiver
 // or interface methods with mutating names (Update, Insert, Reset, ...) are
 // flagged at the call site; value-receiver methods cannot mutate their
 // receiver and pass freely.
@@ -71,6 +71,7 @@ func run(pass *lintkit.Pass) error {
 	}
 	scratch := scratchFields(pass)
 	cg := flowkit.BuildCallGraph(pass.Files, pass.Pkg, pass.TypesInfo)
+	sums := flowkit.BuildSummaries(cg, pass.Pkg, pass.TypesInfo)
 
 	var roots []*types.Func
 	for fn := range cg.Decls {
@@ -84,39 +85,21 @@ func run(pass *lintkit.Pass) error {
 	// function) annotated //pdede:statepurity-ok declares everything beyond
 	// it to be deliberate update-path behaviour, so its targets are not
 	// traversed.
-	reach := make(map[*types.Func]bool)
-	var visit func(fn *types.Func)
-	visit = func(fn *types.Func) {
-		if reach[fn] {
-			return
-		}
-		fd, ok := cg.Decls[fn]
-		if !ok {
-			return
-		}
-		file := cg.File(fn)
-		if pass.FuncHasDirective(file, fd, "statepurity-ok") {
-			return
-		}
-		reach[fn] = true
-		for _, c := range cg.Calls[fn] {
-			if pass.NodeHasDirective(file, c.Expr, "statepurity-ok") {
-				continue
+	reach := cg.ReachableWith(roots, flowkit.ReachOpts{
+		SkipFunc: func(fn *types.Func) bool {
+			return pass.FuncHasDirective(cg.File(fn), cg.Decls[fn], "statepurity-ok")
+		},
+		SkipCall: func(from *types.Func, c flowkit.Call) bool {
+			if pass.NodeHasDirective(cg.File(from), c.Expr, "statepurity-ok") {
+				return true
 			}
-			if c.Dynamic && c.Callee != nil && mutatorNames[c.Callee.Name()] {
-				// Flagged at the call site by checkCall; descending into
-				// class-hierarchy targets would re-report the mutation
-				// inside bodies that are legal on the Update path.
-				continue
-			}
-			for _, t := range c.Targets {
-				visit(t)
-			}
-		}
-	}
-	for _, r := range roots {
-		visit(r)
-	}
+			// Dynamic mutator calls are flagged at the call site by
+			// judgeCall; descending into class-hierarchy targets would
+			// re-report the mutation inside bodies that are legal on the
+			// Update path.
+			return c.Dynamic && c.Callee != nil && mutatorNames[c.Callee.Name()]
+		},
+	})
 
 	var fns []*types.Func
 	for fn := range reach {
@@ -125,7 +108,7 @@ func run(pass *lintkit.Pass) error {
 	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
 
 	for _, fn := range fns {
-		checkFunc(pass, cg, fn, scratch)
+		checkFunc(pass, cg, sums, fn, scratch)
 	}
 	return nil
 }
@@ -173,174 +156,134 @@ func fieldHasDirective(pass *lintkit.Pass, file *ast.File, field *ast.Field, nam
 	return pass.NodeHasDirective(file, field, name)
 }
 
-func checkFunc(pass *lintkit.Pass, cg *flowkit.CallGraph, fn *types.Func, scratch map[*types.Var]bool) {
+// checkFunc judges one reachable function: its summary's own write effects,
+// then its call sites whose bodies are out of summary reach.
+func checkFunc(pass *lintkit.Pass, cg *flowkit.CallGraph, sums *flowkit.Summaries,
+	fn *types.Func, scratch map[*types.Var]bool) {
+
 	fd := cg.Decls[fn]
 	file := cg.File(fn)
-	if pass.FuncHasDirective(file, fd, "statepurity-ok") {
+	sum := sums.ByFunc[fn]
+	if sum == nil {
 		return
 	}
-	info := pass.TypesInfo
-	aliases := flowkit.CollectAliases(fd, info)
-	state := stateVars(info, fd)
 
-	flagWrite := func(node ast.Node, p *flowkit.Path) {
+	flagWrite := func(node ast.Node, eff flowkit.Effect) {
 		if pass.NodeHasDirective(file, node, "statepurity-ok") {
 			return
 		}
 		pass.Reportf(node.Pos(),
 			"prediction path (%s) writes architectural state %s: only //pdede:scratch fields may be written during Lookup",
-			fn.Name(), pathString(p))
+			fn.Name(), effectString(eff))
 	}
 
-	checkLHS := func(node ast.Node, lhs ast.Expr) {
-		lhsAliases := aliases
-		if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
-			// Assigning to a plain local rebinds the variable — even when
-			// the local aliases architectural storage, the binding itself
-			// is function-private. Writes *through* the alias (selector,
-			// index, deref forms) still resolve via the alias map below.
-			lhsAliases = nil
-		}
-		p, ok := flowkit.ResolvePath(info, lhs, lhsAliases)
-		if !ok {
-			return
-		}
-		if len(p.Fields) == 0 {
-			// Reassigning a parameter or local is a write to the copy;
-			// package-level variables are architectural by definition.
-			if p.Base.Parent() == pass.Pkg.Scope() {
-				flagWrite(node, p)
-			}
-			return
-		}
-		if !state[p.Base] && p.Base.Parent() != pass.Pkg.Scope() {
-			return // rooted at a plain local: function-private storage
-		}
-		for _, f := range p.Fields {
-			if scratch[f] {
-				return
-			}
-		}
-		flagWrite(node, p)
-	}
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
-					continue
-				}
-				checkLHS(n, lhs)
-			}
-		case *ast.IncDecStmt:
-			checkLHS(n, n.X)
-		case *ast.CallExpr:
-			checkCall(pass, cg, fn, n, aliases, scratch, state, flagWrite)
-		}
-		return true
-	})
-}
-
-// checkCall polices call sites: in-package targets are analyzed themselves;
-// out-of-reach callees are judged by receiver mutability and name.
-func checkCall(pass *lintkit.Pass, cg *flowkit.CallGraph, fn *types.Func, call *ast.CallExpr,
-	aliases map[*types.Var]*flowkit.Path, scratch map[*types.Var]bool,
-	state map[*types.Var]bool, flagWrite func(ast.Node, *flowkit.Path)) {
-
-	info := pass.TypesInfo
-	file := cg.File(fn)
-	// Builtin delete mutates its map argument.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
-		if p, ok := flowkit.ResolvePath(info, call.Args[0], aliases); ok && len(p.Fields) > 0 && state[p.Base] {
-			for _, f := range p.Fields {
-				if scratch[f] {
-					return
-				}
-			}
-			flagWrite(call, p)
-		}
-		return
-	}
-	for _, c := range cg.Calls[fn] {
-		if c.Expr != call {
+	for _, eff := range sum.Direct {
+		if anyScratch(eff.Fields, scratch) {
 			continue
 		}
-		if len(c.Targets) > 0 && !c.Dynamic {
-			return // static call, body in this package: analyzed directly
-		}
-		if c.Callee == nil {
-			return // function value or builtin
-		}
-		// Dynamic calls are judged by name even when class-hierarchy
-		// analysis found in-package targets: the interface may also be
-		// satisfied by types in other packages, whose bodies are out of
-		// reach under the per-package vet model.
-		sig := c.Callee.Type().(*types.Signature)
-		recv := sig.Recv()
-		if recv == nil {
-			return // plain function call: no receiver to mutate
-		}
-		if _, isPtr := recv.Type().(*types.Pointer); !isPtr && !c.Dynamic {
-			return // value receiver cannot mutate the callee's state
-		}
-		if !mutatorNames[c.Callee.Name()] {
-			return
-		}
-		// The receiver must be state we own for the mutation to matter.
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok {
-			return
-		}
-		p, ok := flowkit.ResolvePath(info, sel.X, aliases)
-		if ok {
-			if !state[p.Base] && p.Base.Parent() != pass.Pkg.Scope() {
-				return
+		switch {
+		case eff.Op == flowkit.OpDelete:
+			// The builtin delete mutates its map argument's storage; only
+			// state we own (receiver/parameter field chains) matters.
+			if (eff.Kind == flowkit.RootRecv || eff.Kind == flowkit.RootParam) && len(eff.Fields) > 0 {
+				flagWrite(eff.Node, eff)
 			}
-			for _, f := range p.Fields {
-				if scratch[f] {
-					return
-				}
+		case len(eff.Fields) == 0:
+			// Reassigning a parameter or local is a write to the copy;
+			// package-level variables are architectural by definition.
+			if eff.Kind == flowkit.RootGlobal {
+				flagWrite(eff.Node, eff)
 			}
+		case eff.Kind == flowkit.RootRecv || eff.Kind == flowkit.RootParam || eff.Kind == flowkit.RootGlobal:
+			flagWrite(eff.Node, eff)
 		}
-		if pass.NodeHasDirective(file, call, "statepurity-ok") {
-			return
-		}
-		pass.Reportf(call.Pos(),
-			"prediction path (%s) calls mutator %s.%s whose body is outside this package: forbidden during Lookup unless //pdede:statepurity-ok",
-			fn.Name(), types.ExprString(sel.X), c.Callee.Name())
+	}
+
+	aliases := flowkit.CollectAliases(fd, pass.TypesInfo)
+	for _, c := range cg.Calls[fn] {
+		judgeCall(pass, file, fn, c, aliases, scratch)
+	}
+}
+
+// judgeCall polices a call site whose body is out of reach: in-package
+// static targets are summarized and judged directly, but a dynamic or
+// cross-package callee is judged by receiver mutability and name.
+func judgeCall(pass *lintkit.Pass, file *ast.File, fn *types.Func, c flowkit.Call,
+	aliases map[*types.Var]*flowkit.Path, scratch map[*types.Var]bool) {
+
+	if len(c.Targets) > 0 && !c.Dynamic {
+		return // static call, body in this package: summarized directly
+	}
+	if c.Callee == nil {
+		return // function value or builtin
+	}
+	// Dynamic calls are judged by name even when class-hierarchy analysis
+	// found in-package targets: the interface may also be satisfied by
+	// types in other packages, whose bodies are out of reach under the
+	// per-package vet model.
+	sig := c.Callee.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return // plain function call: no receiver to mutate
+	}
+	if _, isPtr := recv.Type().(*types.Pointer); !isPtr && !c.Dynamic {
+		return // value receiver cannot mutate the callee's state
+	}
+	if !mutatorNames[c.Callee.Name()] {
 		return
 	}
-}
-
-// stateVars returns the receiver and parameters of fd — the variables whose
-// field chains are non-local state.
-func stateVars(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
-	out := make(map[*types.Var]bool)
-	add := func(fl *ast.FieldList) {
-		if fl == nil {
+	// The receiver must be state we own for the mutation to matter.
+	sel, ok := ast.Unparen(c.Expr.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := pass.TypesInfo
+	if p, ok := flowkit.ResolvePath(info, sel.X, aliases); ok {
+		if !ownedBase(info, fn, p.Base) && p.Base.Parent() != pass.Pkg.Scope() {
 			return
 		}
-		for _, f := range fl.List {
-			for _, name := range f.Names {
-				if v, ok := info.Defs[name].(*types.Var); ok {
-					out[v] = true
-				}
-			}
+		if anyScratch(p.Fields, scratch) {
+			return
 		}
 	}
-	add(fd.Recv)
-	if fd.Type.Params != nil {
-		add(fd.Type.Params)
+	if pass.NodeHasDirective(file, c.Expr, "statepurity-ok") {
+		return
 	}
-	return out
+	pass.Reportf(c.Expr.Pos(),
+		"prediction path (%s) calls mutator %s.%s whose body is outside this package: forbidden during Lookup unless //pdede:statepurity-ok",
+		fn.Name(), types.ExprString(sel.X), c.Callee.Name())
 }
 
-// pathString renders a Path for diagnostics: "b.entries.target".
-func pathString(p *flowkit.Path) string {
+// ownedBase reports whether v is fn's receiver or one of its parameters —
+// the variables whose field chains are non-local state.
+func ownedBase(info *types.Info, fn *types.Func, v *types.Var) bool {
+	sig := fn.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil && v.Pos() == r.Pos() && v.Name() == r.Name() {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if v == p || (v.Pos() == p.Pos() && v.Name() == p.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyScratch(fields []*types.Var, scratch map[*types.Var]bool) bool {
+	for _, f := range fields {
+		if scratch[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// effectString renders an Effect's path for diagnostics: "b.entries.target".
+func effectString(e flowkit.Effect) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s", p.Base.Name())
-	for _, f := range p.Fields {
+	fmt.Fprintf(&b, "%s", e.Base.Name())
+	for _, f := range e.Fields {
 		fmt.Fprintf(&b, ".%s", f.Name())
 	}
 	return b.String()

@@ -43,7 +43,11 @@ import (
 )
 
 // Config parameterizes a Server. The zero value of every optional field
-// selects a sensible default (see New); Design is required.
+// selects a sensible default (see New); Design is required. Once New has
+// normalized its copy, the snapshot the Server holds never changes — the
+// frozen analyzer enforces that no handler writes through it.
+//
+//pdede:frozen
 type Config struct {
 	// Design builds each tenant's BTB and optionally adjusts the core
 	// configuration (the experiments registry supplies these; the design

@@ -207,7 +207,10 @@ type zblock struct {
 // read I/O up front and decoding streams pages in on demand. It implements
 // Source; every Open returns an independent BlockReader over the shared
 // bytes, so concurrent readers (the parallel suite runner's cells) need no
-// locking.
+// locking. The frozen analyzer enforces that the parsed index never changes
+// under those readers.
+//
+//pdede:frozen
 type Pdtz struct {
 	data    []byte
 	name    string
@@ -320,6 +323,7 @@ func OpenPdtz(path string) (*Pdtz, error) {
 		}
 		return nil, fmt.Errorf("pdtz: %s: %w", path, err)
 	}
+	//pdede:frozen-ok still constructing: ParsePdtz's result has not escaped yet
 	z.unmap = unmap
 	return z, nil
 }
@@ -354,7 +358,10 @@ func (z *Pdtz) OpenBlocks(first, last int) (*BlockReader, error) {
 	return &BlockReader{z: z, block: first, lastBlock: last}, nil
 }
 
-// Close releases the mapping, if any. The Pdtz must not be used afterwards.
+// Close releases the mapping, if any. The Pdtz must not be used afterwards,
+// so the teardown writes below are exempt from the frozen contract.
+//
+//pdede:frozen-ok
 func (z *Pdtz) Close() error {
 	z.data = nil
 	z.blocks = nil
