@@ -20,7 +20,7 @@ FUZZTIME ?= 15s
 # Benchmark-and-regression harness (cmd/pdede-bench): BENCH_BASELINE is the
 # committed reference report, BENCH_TOLERANCE the allowed per-design
 # records/sec loss, BENCH_OUT where the fresh report lands.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR10.json
 BENCH_TOLERANCE ?= 8%
 BENCH_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/pdede-bench.json
 
@@ -43,7 +43,7 @@ SERVE_LOAD_TENANTS ?= 1000
 # wall clock scales with this (results are identical for every value).
 CHECK_DEEP_WORKERS ?= $(shell nproc 2>/dev/null || echo 4)
 
-.PHONY: build test vet lint race fuzz cover bench serve-load check check-deep
+.PHONY: build test vet lint perfgate race fuzz cover bench serve-load check check-deep
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,18 @@ lint: vet
 		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 	@echo "lint: ok"
+
+# Performance-contract gate (cmd/pdede-perfgate; DESIGN.md §6.3): recompile
+# the hot packages with escape/inline/bounds-check diagnostics and reconcile
+# against the //pdede:noalloc / //pdede:inline / //pdede:nobce directives
+# and the per-package caps in PERF_BUDGET.json. -drift also fails on caps
+# that are looser than the measured counts (slack hides regressions). After
+# an intentional change to the measured counts:
+#   go run ./cmd/pdede-perfgate -update-budget
+# then review and commit the regenerated PERF_BUDGET.json.
+perfgate:
+	$(GO) run ./cmd/pdede-perfgate -drift
+	@echo "perfgate: ok"
 
 # The experiment harness fans apps out across goroutines, the fault layer is
 # exercised from them, the core models run under -parallel app sweeps, the

@@ -104,6 +104,16 @@ func Lookup(pc uint64) uint64 {
 		},
 	},
 	{
+		// Interprocedural: the violation lives in a plain helper that only
+		// the //pdede:hot root's call-graph closure makes hot.
+		name:     "hotpath-interproc",
+		analyzer: "hotpath",
+		files: map[string]string{
+			"go.mod":              "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": hotpathInterprocSeed,
+		},
+	},
+	{
 		name:     "bitwidth",
 		analyzer: "bitwidth",
 		files: map[string]string{
@@ -230,6 +240,27 @@ func Mix(r addr.RegionID) addr.PageNum {
 		},
 	},
 }
+
+// hotpathInterprocSeed hides the defer two calls below the //pdede:hot
+// root: only the interprocedural closure finds it.
+const hotpathInterprocSeed = `package btb
+
+func cleanup() {}
+
+func slowProbe(pc uint64) uint64 {
+	defer cleanup()
+	return pc
+}
+
+func probe(pc uint64) uint64 {
+	return slowProbe(pc)
+}
+
+//pdede:hot
+func Lookup(pc uint64) uint64 {
+	return probe(pc)
+}
+`
 
 // statepuritySeed is a fixture copy of Baseline.Lookup with the
 // architectural write left in.
@@ -454,6 +485,10 @@ func TestVettoolProtocol(t *testing.T) {
 		message string
 	}{
 		{"determinism", seedCases[0].files, "nondeterministic map iteration"},
+		{"hotpath-interproc", map[string]string{
+			"go.mod":              "module seed\n\ngo 1.22\n",
+			"internal/btb/btb.go": hotpathInterprocSeed,
+		}, "on the //pdede:hot path via Lookup"},
 		{"statepurity", map[string]string{
 			"go.mod":              "module seed\n\ngo 1.22\n",
 			"internal/btb/btb.go": statepuritySeed,

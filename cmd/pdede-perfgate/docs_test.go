@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/perfbudget"
+)
+
+// These tests pin the documentation to the gate's directive vocabulary and
+// package scope, in the same style as cmd/pdede-lint's docs tests: adding,
+// renaming, or removing a directive without updating DESIGN.md §6.3 and
+// the README "Performance contracts" section fails the build.
+
+func directiveNames() []string {
+	return []string{perfbudget.DirNoalloc, perfbudget.DirInline, perfbudget.DirNobce}
+}
+
+// section returns the lines of doc between the heading line containing
+// marker and the next heading of the same or higher level.
+func section(t *testing.T, path, marker string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	var level string
+	for i, l := range lines {
+		if start == -1 {
+			if strings.HasPrefix(l, "#") && strings.Contains(l, marker) {
+				start = i + 1
+				level = l[:strings.IndexByte(l, ' ')]
+			}
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			h := l[:strings.IndexByte(l+" ", ' ')]
+			if len(h) <= len(level) {
+				return lines[start:i]
+			}
+		}
+	}
+	if start == -1 {
+		t.Fatalf("%s: no heading contains %q", path, marker)
+	}
+	return lines[start:]
+}
+
+// TestDesignTableMatchesDirectives asserts the §6.3 directive table lists
+// exactly the gate's directives, in declaration order.
+func TestDesignTableMatchesDirectives(t *testing.T) {
+	row := regexp.MustCompile("^\\| `//pdede:([a-z]+)` \\|")
+	var documented []string
+	for _, l := range section(t, "../../DESIGN.md", "6.3 Performance contracts") {
+		if m := row.FindStringSubmatch(l); m != nil {
+			documented = append(documented, m[1])
+		}
+	}
+	want := directiveNames()
+	if strings.Join(documented, ",") != strings.Join(want, ",") {
+		t.Errorf("DESIGN.md §6.3 directive table is out of sync:\n  documented: %v\n  gate: %v",
+			documented, want)
+	}
+}
+
+// TestReadmeMatchesDirectives asserts the README "Performance contracts"
+// section names every directive (as `//pdede:<name>`) and no stale ones.
+func TestReadmeMatchesDirectives(t *testing.T) {
+	dir := regexp.MustCompile("`//pdede:([a-z]+)`")
+	seen := map[string]bool{}
+	for _, l := range section(t, "../../README.md", "Performance contracts") {
+		for _, m := range dir.FindAllStringSubmatch(l, -1) {
+			seen[m[1]] = true
+		}
+	}
+	var documented []string
+	for name := range seen {
+		documented = append(documented, name)
+	}
+	sort.Strings(documented)
+	want := directiveNames()
+	sort.Strings(want)
+	if strings.Join(documented, ",") != strings.Join(want, ",") {
+		t.Errorf("README \"Performance contracts\" section is out of sync:\n  documented: %v\n  gate: %v",
+			documented, want)
+	}
+}
+
+// TestDesignNamesBudgetedPackages asserts §6.3 spells out the default
+// hot-package scope the first -update-budget seeds.
+func TestDesignNamesBudgetedPackages(t *testing.T) {
+	text := strings.Join(section(t, "../../DESIGN.md", "6.3 Performance contracts"), "\n")
+	var short []string
+	for _, pkg := range perfbudget.DefaultPackages {
+		short = append(short, strings.TrimPrefix(pkg, "internal/"))
+	}
+	want := "`internal/{" + strings.Join(short, ",") + "}`"
+	if !strings.Contains(text, want) {
+		t.Errorf("DESIGN.md §6.3 does not name the budgeted package set %s", want)
+	}
+}

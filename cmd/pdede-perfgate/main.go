@@ -1,0 +1,174 @@
+// pdede-perfgate makes the Go compiler's escape/inline/bounds-check
+// decisions over the hot packages a checked, versioned contract (the
+// perfbudget pass; see DESIGN.md §6.3).
+//
+// It runs `go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'` over the
+// packages budgeted in PERF_BUDGET.json, parses the diagnostics into a
+// per-function model, and reports:
+//
+//   - every `//pdede:noalloc` function containing a heap-escape site;
+//   - every `//pdede:inline` function the compiler refuses to inline
+//     (with the compiler's reason);
+//   - every `//pdede:nobce` function containing a residual bounds check;
+//   - every package whose total heap-escape sites or residual bounds
+//     checks exceed its budgeted cap;
+//   - with -drift, every package whose measured counts no longer match
+//     the committed caps at all (a stale budget hides regressions).
+//
+// Usage:
+//
+//	pdede-perfgate [flags]
+//
+//	-C dir        module to gate (default: current directory)
+//	-budget file  budget file (default PERF_BUDGET.json, relative to -C)
+//	-json         emit findings to stdout as a JSON array matching
+//	              pdede-lint's {file, line, col, analyzer, message} schema
+//	-drift        fail on budget drift in either direction
+//	-update-budget
+//	              regenerate the budget file from the measured counts
+//	              (directive contracts are still enforced)
+//
+// Exit status: 0 clean, 1 findings, 2 operational error — the same
+// contract as pdede-lint, so CI treats both gates identically.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/perfbudget"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("pdede-perfgate", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	dir := flags.String("C", "", "change to this directory before gating")
+	budgetFile := flags.String("budget", "PERF_BUDGET.json", "budget file (relative paths resolve under -C)")
+	asJSON := flags.Bool("json", false, "emit findings to stdout as a JSON array")
+	drift := flags.Bool("drift", false, "fail when measured counts differ from the budget in either direction")
+	update := flags.Bool("update-budget", false, "regenerate the budget file from the measured counts")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if flags.NArg() != 0 {
+		fmt.Fprintf(stderr, "pdede-perfgate: unexpected arguments %v (the package scope comes from the budget file)\n", flags.Args())
+		return 2
+	}
+
+	moduleDir := *dir
+	if moduleDir == "" {
+		moduleDir = "."
+	}
+	budgetPath := *budgetFile
+	if !filepath.IsAbs(budgetPath) {
+		budgetPath = filepath.Join(moduleDir, budgetPath)
+	}
+
+	// The budget file defines the gate's package scope; before the first
+	// -update-budget commit, the default hot-package set seeds it.
+	var budget *perfbudget.Budget
+	pkgs := perfbudget.DefaultPackages
+	switch b, err := perfbudget.LoadBudget(budgetPath); {
+	case err == nil:
+		budget = b
+		pkgs = b.PackageList()
+	case errors.Is(err, fs.ErrNotExist) && *update:
+		// First run: seed the scope with the default hot-package set.
+	case errors.Is(err, fs.ErrNotExist):
+		fmt.Fprintf(stderr, "pdede-perfgate: %v (run -update-budget to create it)\n", err)
+		return 2
+	default:
+		fmt.Fprintln(stderr, "pdede-perfgate:", err)
+		return 2
+	}
+
+	goVersion, err := perfbudget.GoVersion(moduleDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdede-perfgate:", err)
+		return 2
+	}
+	if budget != nil && budget.Go != perfbudget.MinorVersion(goVersion) {
+		fmt.Fprintf(stderr, "pdede-perfgate: note: budget generated with %s, gating with %s — counts may differ across compiler releases\n",
+			budget.Go, perfbudget.MinorVersion(goVersion))
+	}
+
+	srcs, err := perfbudget.ScanPackages(moduleDir, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdede-perfgate:", err)
+		return 2
+	}
+	diags, err := perfbudget.Compile(moduleDir, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdede-perfgate:", err)
+		return 2
+	}
+
+	if *update {
+		budget = perfbudget.UpdateBudget(diags, pkgs, goVersion)
+		if err := budget.Save(budgetPath); err != nil {
+			fmt.Fprintln(stderr, "pdede-perfgate:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "pdede-perfgate: wrote %s (%d packages, %s)\n", budgetPath, len(pkgs), budget.Go)
+	}
+
+	findings := perfbudget.Check(diags, srcs, budget, perfbudget.CheckOptions{
+		BudgetFile: *budgetFile,
+		Drift:      *drift && !*update, // a freshly regenerated budget cannot drift
+	})
+
+	if *asJSON {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "pdede-perfgate:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stderr, "%s:%d:%d: %s (perfbudget/%s)\n", f.File, f.Line, f.Col, f.Message, f.Check)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "pdede-perfgate: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag mirrors pdede-lint's -json wire form so the CI annotation
+// tooling consumes both gates with one jq expression. The analyzer field
+// carries the violated check, namespaced under perfbudget/.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, findings []perfbudget.Finding) error {
+	out := make([]jsonDiag, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonDiag{
+			File:     f.File,
+			Line:     f.Line,
+			Col:      f.Col,
+			Analyzer: "perfbudget/" + f.Check,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

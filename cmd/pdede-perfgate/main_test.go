@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit/linttest"
+)
+
+// cleanSeed holds every contract it declares.
+const cleanSeed = `package btb
+
+// Sum is the hot accumulation kernel.
+//
+//pdede:noalloc
+//pdede:nobce
+func Sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+`
+
+// escapeSeed is cleanSeed with one injected heap escape: the corruption
+// seed proving the gate's exit code flips from 0 to 1.
+const escapeSeed = `package btb
+
+var sink *int
+
+// Sum is the hot accumulation kernel.
+//
+//pdede:noalloc
+//pdede:nobce
+func Sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	sink = &t
+	return t
+}
+`
+
+func writeGatedModule(t *testing.T, src string) string {
+	t.Helper()
+	return linttest.WriteModule(t, map[string]string{
+		"go.mod":              "module fix\n\ngo 1.23\n",
+		"internal/btb/btb.go": src,
+		"PERF_BUDGET.json":    `{"schema": 1, "go": "go1.24", "packages": {"internal/btb": {"escapes": 0, "bounds_checks": 0}}}` + "\n",
+	})
+}
+
+// TestExitCodeFlip is the corruption-injection proof: the same module
+// gates clean at exit 0, then exits 1 once a single escape is injected
+// into a //pdede:noalloc function (caught by both the directive and the
+// package cap).
+func TestExitCodeFlip(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	clean := writeGatedModule(t, cleanSeed)
+	if code := run([]string{"-C", clean}, &out, &errb); code != 0 {
+		t.Fatalf("clean module: exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	dirty := writeGatedModule(t, escapeSeed)
+	if code := run([]string{"-C", dirty}, &out, &errb); code != 1 {
+		t.Fatalf("injected escape: exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	text := errb.String()
+	for _, want := range []string{
+		"heap escape in //pdede:noalloc function Sum",
+		"(perfbudget/noalloc)",
+		"exceed the budgeted 0",
+		"(perfbudget/budget)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stderr missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestJSONOutput pins the -json wire form to pdede-lint's schema.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	dirty := writeGatedModule(t, escapeSeed)
+	if code := run([]string{"-C", dirty, "-json"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	var sawNoalloc bool
+	for _, d := range diags {
+		if !strings.HasPrefix(d.Analyzer, "perfbudget/") {
+			t.Errorf("analyzer %q not namespaced under perfbudget/", d.Analyzer)
+		}
+		if d.Analyzer == "perfbudget/noalloc" {
+			sawNoalloc = true
+			if d.File != "internal/btb/btb.go" || d.Line == 0 {
+				t.Errorf("noalloc finding poorly anchored: %+v", d)
+			}
+		}
+	}
+	if !sawNoalloc {
+		t.Errorf("no perfbudget/noalloc finding: %+v", diags)
+	}
+}
+
+// TestUpdateBudgetRoundTrip proves -update-budget writes a budget the next
+// plain run (and a -drift run) accepts.
+func TestUpdateBudgetRoundTrip(t *testing.T) {
+	dir := linttest.WriteModule(t, map[string]string{
+		"go.mod":              "module fix\n\ngo 1.23\n",
+		"internal/btb/btb.go": cleanSeed,
+	})
+
+	var out, errb bytes.Buffer
+	// No budget yet, no -update-budget: operational error.
+	if code := run([]string{"-C", dir}, &out, &errb); code != 2 {
+		t.Fatalf("missing budget: exit %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-update-budget") {
+		t.Errorf("missing-budget error does not point at -update-budget:\n%s", errb.String())
+	}
+
+	// The default package scope does not exist in this module, so seed the
+	// scope with a budget naming the right package, then regenerate it.
+	budget := filepath.Join(dir, "PERF_BUDGET.json")
+	seed := `{"schema": 1, "go": "go1.24", "packages": {"internal/btb": {"escapes": 99, "bounds_checks": 99}}}` + "\n"
+	if err := os.WriteFile(budget, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-update-budget"}, &out, &errb); code != 0 {
+		t.Fatalf("-update-budget: exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	data, err := os.ReadFile(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "99") {
+		t.Errorf("budget still carries the seeded slack:\n%s", data)
+	}
+
+	// The regenerated budget passes a strict drift check.
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-drift"}, &out, &errb); code != 0 {
+		t.Fatalf("post-update -drift: exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	// And the seeded slack would have failed it.
+	if err := os.WriteFile(budget, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-drift"}, &out, &errb); code != 1 {
+		t.Fatalf("slack under -drift: exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "(perfbudget/drift)") {
+		t.Errorf("no drift finding:\n%s", errb.String())
+	}
+}
+
+// TestBadUsage covers the operational-error paths that never reach a
+// compile.
+func TestBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"positional"}, &out, &errb); code != 2 {
+		t.Errorf("positional args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "package scope comes from the budget file") {
+		t.Errorf("usage error unexplained:\n%s", errb.String())
+	}
+}

@@ -22,74 +22,163 @@
 //     dispatch). Calling a method *through* an existing interface value
 //     (e.g. the replacement-policy vtable) stays legal: it does not box.
 //
+// The contract is interprocedural: a hot function's budget is spent by
+// everything it calls, so the same rules apply to every in-package function
+// reachable from a `//pdede:hot` root through flowkit's class-hierarchy
+// call graph — static calls descend into their callee's body, interface
+// dispatch descends into every in-package concrete method that may be the
+// target. A helper that only a cold path reaches is untouched; the moment a
+// hot root can reach it, its defers and appends are hot-path defers and
+// appends.
+//
+// Escapes: `//pdede:hotpath-ok <reason>` on a function's doc comment takes
+// the whole function (and everything only it reaches) out of the closure —
+// for deliberately cold carve-outs like corruption error construction. On a
+// call line it prunes that one edge; on an offending line inside a reached
+// function it suppresses that single finding.
+//
 // The directive is a contract, not a heuristic: annotate the functions the
-// profiler shows hot, and the analyzer keeps them that way.
+// profiler shows hot, and the analyzer keeps them — and their callees —
+// that way.
 package hotpath
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 
+	"repro/internal/analysis/flowkit"
 	"repro/internal/analysis/lintkit"
 )
 
 // Directive marks a function as hot-path in its doc comment.
 const Directive = "hot"
 
+// EscapeDirective prunes a function, call edge, or single finding from the
+// hot closure.
+const EscapeDirective = "hotpath-ok"
+
 // Analyzer is the hot-path check.
 var Analyzer = &lintkit.Analyzer{
 	Name: "hotpath",
-	Doc: "forbid defer, closures, append and interface boxing inside functions " +
-		"marked //pdede:hot (the per-branch simulation fast path)",
+	Doc: "forbid defer, closures, append and interface boxing in functions " +
+		"marked //pdede:hot and everything they reach through the in-package call graph",
 	Run: run,
 }
 
 func run(pass *lintkit.Pass) error {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
+	cg := flowkit.BuildCallGraph(pass.Files, pass.Pkg, pass.TypesInfo)
+
+	// Roots: every declared function carrying //pdede:hot.
+	var roots []*types.Func
+	for fn, fd := range cg.Decls {
+		if pass.FuncHasDirective(cg.File(fn), fd, Directive) {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	opts := flowkit.ReachOpts{
+		SkipFunc: func(fn *types.Func) bool {
+			return pass.FuncHasDirective(cg.File(fn), cg.Decls[fn], EscapeDirective)
+		},
+		SkipCall: func(from *types.Func, c flowkit.Call) bool {
+			return pass.NodeHasDirective(cg.File(from), c.Expr, EscapeDirective)
+		},
+	}
+
+	// Walk per root in sorted order so every reached function is checked
+	// exactly once and attributed deterministically to the first root that
+	// reaches it.
+	checked := make(map[*types.Func]bool)
+	for _, root := range roots {
+		reach := cg.ReachableWith([]*types.Func{root}, opts)
+		var fns []*types.Func
+		for fn := range reach {
+			if !checked[fn] {
+				checked[fn] = true
+				fns = append(fns, fn)
 			}
-			if !pass.FuncHasDirective(file, fn, Directive) {
-				continue
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+		for _, fn := range fns {
+			c := &checker{
+				pass: pass,
+				file: cg.File(fn),
+				name: fn.Name(),
 			}
-			check(pass, fn)
+			if fn != root {
+				c.via = root.Name()
+			}
+			c.check(cg.Decls[fn])
 		}
 	}
 	return nil
 }
 
-func check(pass *lintkit.Pass, fn *ast.FuncDecl) {
-	name := fn.Name.Name
+// checker applies the hot-path rules to one function body. For a root (via
+// == "") diagnostics keep the original intraprocedural wording; for a
+// reached callee they name the hot root whose closure pulled it in.
+type checker struct {
+	pass *lintkit.Pass
+	file *ast.File
+	name string
+	via  string
+}
+
+// reportf emits one finding unless the offending line carries the escape
+// directive. where/what format: "defer", "frame bookkeeping on the
+// per-branch path".
+func (c *checker) reportf(node ast.Node, format string, args ...any) {
+	if c.pass.NodeHasDirective(c.file, node, EscapeDirective) {
+		return
+	}
+	c.pass.Reportf(node.Pos(), format, args...)
+}
+
+// ctx renders the function context for diagnostics: the original "//pdede:hot
+// function F" for roots, "function F (on the //pdede:hot path via R)" for
+// reached callees.
+func (c *checker) ctx() string {
+	if c.via == "" {
+		return "//pdede:hot function " + c.name
+	}
+	return "function " + c.name + " (on the //pdede:hot path via " + c.via + ")"
+}
+
+func (c *checker) check(fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt:
-			pass.Reportf(n.Pos(), "defer in //pdede:hot function %s: frame bookkeeping on the per-branch path", name)
+			c.reportf(n, "defer in %s: frame bookkeeping on the per-branch path", c.ctx())
 		case *ast.GoStmt:
-			pass.Reportf(n.Pos(), "go statement in //pdede:hot function %s: goroutine launch on the per-branch path", name)
+			c.reportf(n, "go statement in %s: goroutine launch on the per-branch path", c.ctx())
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "closure in //pdede:hot function %s: allocates and inhibits inlining", name)
+			c.reportf(n, "closure in %s: allocates and inhibits inlining", c.ctx())
 			return false // its body is not part of the hot frame
 		case *ast.CallExpr:
-			checkCall(pass, name, n)
+			c.checkCall(n)
 		case *ast.AssignStmt:
-			checkAssign(pass, name, n)
+			c.checkAssign(n)
 		case *ast.ReturnStmt:
-			checkReturn(pass, name, fn, n)
+			c.checkReturn(fn, n)
 		case *ast.ValueSpec:
-			checkValueSpec(pass, name, n)
+			c.checkValueSpec(n)
 		}
 		return true
 	})
 }
 
-func checkCall(pass *lintkit.Pass, name string, call *ast.CallExpr) {
+func (c *checker) checkCall(call *ast.CallExpr) {
+	pass := c.pass
 	// Builtin append.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
 			if id.Name == "append" {
-				pass.Reportf(call.Pos(), "append in //pdede:hot function %s: growth allocates; pre-size the structure", name)
+				c.reportf(call, "append in %s: growth allocates; pre-size the structure", c.ctx())
 			}
 			return
 		}
@@ -97,7 +186,7 @@ func checkCall(pass *lintkit.Pass, name string, call *ast.CallExpr) {
 	// Explicit conversion to an interface type: T(x) with T an interface.
 	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
 		if isInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0]) {
-			pass.Reportf(call.Pos(), "conversion to interface %s in //pdede:hot function %s boxes its operand", types.TypeString(tv.Type, nil), name)
+			c.reportf(call, "conversion to interface %s in %s boxes its operand", types.TypeString(tv.Type, nil), c.ctx())
 		}
 		return
 	}
@@ -128,30 +217,30 @@ func checkCall(pass *lintkit.Pass, name string, call *ast.CallExpr) {
 			pt = params.At(i).Type()
 		}
 		if pt != nil && isInterface(pt) && boxes(pass, arg) {
-			pass.Reportf(arg.Pos(), "argument %d of call in //pdede:hot function %s is boxed into interface %s", i, name, types.TypeString(pt, nil))
+			c.reportf(arg, "argument %d of call in %s is boxed into interface %s", i, c.ctx(), types.TypeString(pt, nil))
 		}
 	}
 }
 
-func checkAssign(pass *lintkit.Pass, name string, as *ast.AssignStmt) {
+func (c *checker) checkAssign(as *ast.AssignStmt) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return
 	}
 	for i, l := range as.Lhs {
-		lt := pass.TypesInfo.TypeOf(l)
-		if lt != nil && isInterface(lt) && boxes(pass, as.Rhs[i]) {
-			pass.Reportf(as.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(lt, nil), name)
+		lt := c.pass.TypesInfo.TypeOf(l)
+		if lt != nil && isInterface(lt) && boxes(c.pass, as.Rhs[i]) {
+			c.reportf(as.Rhs[i], "assignment boxes a concrete value into interface %s in %s", types.TypeString(lt, nil), c.ctx())
 		}
 	}
 }
 
-func checkReturn(pass *lintkit.Pass, name string, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+func (c *checker) checkReturn(fn *ast.FuncDecl, ret *ast.ReturnStmt) {
 	if fn.Type.Results == nil {
 		return
 	}
 	var resultTypes []types.Type
 	for _, f := range fn.Type.Results.List {
-		t := pass.TypesInfo.TypeOf(f.Type)
+		t := c.pass.TypesInfo.TypeOf(f.Type)
 		n := len(f.Names)
 		if n == 0 {
 			n = 1
@@ -164,23 +253,23 @@ func checkReturn(pass *lintkit.Pass, name string, fn *ast.FuncDecl, ret *ast.Ret
 		return
 	}
 	for i, r := range ret.Results {
-		if resultTypes[i] != nil && isInterface(resultTypes[i]) && boxes(pass, r) {
-			pass.Reportf(r.Pos(), "return boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(resultTypes[i], nil), name)
+		if resultTypes[i] != nil && isInterface(resultTypes[i]) && boxes(c.pass, r) {
+			c.reportf(r, "return boxes a concrete value into interface %s in %s", types.TypeString(resultTypes[i], nil), c.ctx())
 		}
 	}
 }
 
-func checkValueSpec(pass *lintkit.Pass, name string, vs *ast.ValueSpec) {
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
 	if vs.Type == nil {
 		return
 	}
-	t := pass.TypesInfo.TypeOf(vs.Type)
+	t := c.pass.TypesInfo.TypeOf(vs.Type)
 	if t == nil || !isInterface(t) {
 		return
 	}
 	for _, v := range vs.Values {
-		if boxes(pass, v) {
-			pass.Reportf(v.Pos(), "var declaration boxes a concrete value into interface %s in //pdede:hot function %s", types.TypeString(t, nil), name)
+		if boxes(c.pass, v) {
+			c.reportf(v, "var declaration boxes a concrete value into interface %s in %s", types.TypeString(t, nil), c.ctx())
 		}
 	}
 }

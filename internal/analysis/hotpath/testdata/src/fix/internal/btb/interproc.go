@@ -1,0 +1,76 @@
+// Interprocedural fixtures: the //pdede:hot contract follows the
+// in-package call graph, so violations inside plain helpers are findings
+// the moment a hot root can reach them.
+package btb
+
+func spill() {}
+
+// helperDefer is cold on its own; Root1 makes it hot.
+func helperDefer() {
+	defer spill() // want `defer in function helperDefer \(on the //pdede:hot path via Root1\)`
+}
+
+// helperBox is two edges away from the root.
+func helperBox(x int) {
+	sink(x) // want `argument 0 of call in function helperBox \(on the //pdede:hot path via Root1\) is boxed into interface`
+}
+
+func middle(x int) {
+	helperBox(x)
+}
+
+//pdede:hot
+func Root1(x int) {
+	helperDefer()
+	middle(x)
+}
+
+// prunedCold carries the escape directive: its defer — and everything only
+// it reaches — is out of the closure.
+//
+//pdede:hotpath-ok corruption error construction, cold by contract
+func prunedCold() {
+	defer spill() // ok: the whole function is pruned
+	onlyViaPruned()
+}
+
+func onlyViaPruned() {
+	defer spill() // ok: only reachable through the pruned function
+}
+
+// edgeTarget is reached through a call edge annotated away.
+func edgeTarget() {
+	defer spill() // ok: the only inbound edge is pruned
+}
+
+// lineEscape has one deliberate violation suppressed in place.
+func lineEscape(x int) {
+	//pdede:hotpath-ok deliberate one-off boxing on the error path
+	sink(x)
+	helperDefer() // already claimed by Root1: reported once, not per root
+}
+
+//pdede:hot
+func Root2(x int) {
+	prunedCold()
+	//pdede:hotpath-ok cold slow-path call
+	edgeTarget()
+	lineEscape(x)
+}
+
+// scanner is an in-package interface: dynamic dispatch descends into every
+// concrete in-package method that may satisfy it (class-hierarchy
+// analysis).
+type scanner interface{ Scan(n int) int }
+
+type packedScan struct{ tags []int }
+
+func (p *packedScan) Scan(n int) int {
+	p.tags = append(p.tags, n) // want `append in function Scan \(on the //pdede:hot path via RootDyn\)`
+	return len(p.tags)
+}
+
+//pdede:hot
+func RootDyn(s scanner, n int) int {
+	return s.Scan(n) // the call itself is legal; the CHA target body is checked
+}

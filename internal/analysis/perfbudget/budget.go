@@ -1,0 +1,98 @@
+package perfbudget
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+
+	"repro/internal/atomicio"
+)
+
+// BudgetSchema versions the budget file format.
+const BudgetSchema = 1
+
+// PackageBudget caps one package's compiler-witnessed costs.
+type PackageBudget struct {
+	// Escapes caps the heap-escape sites ("moved to heap" + "escapes to
+	// heap" summary lines) across the package.
+	Escapes int `json:"escapes"`
+	// BoundsChecks caps the residual bounds checks SSA could not
+	// eliminate.
+	BoundsChecks int `json:"bounds_checks"`
+}
+
+// Budget is the committed PERF_BUDGET.json document: the gate's package
+// scope and per-package caps, stamped with the toolchain that generated
+// the counts (they drift across compiler minor releases).
+type Budget struct {
+	Schema   int                      `json:"schema"`
+	Go       string                   `json:"go"` // minor toolchain, e.g. "go1.24"
+	Packages map[string]PackageBudget `json:"packages"`
+}
+
+// LoadBudget reads and validates a budget file.
+func LoadBudget(file string) (*Budget, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("perfbudget: %w", err)
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perfbudget: parsing %s: %w", file, err)
+	}
+	if b.Schema != BudgetSchema {
+		return nil, fmt.Errorf("perfbudget: %s: schema %d, want %d", file, b.Schema, BudgetSchema)
+	}
+	if len(b.Packages) == 0 {
+		return nil, fmt.Errorf("perfbudget: %s: no packages budgeted", file)
+	}
+	for pkg := range b.Packages {
+		if pkg != path.Clean(pkg) || path.IsAbs(pkg) {
+			return nil, fmt.Errorf("perfbudget: %s: package key %q is not a clean module-relative dir", file, pkg)
+		}
+	}
+	return &b, nil
+}
+
+// Save writes the budget atomically (the atomicwrite contract: a gate run
+// racing a reader must never observe a torn document). Keys marshal
+// sorted, so regeneration is byte-stable for identical counts.
+func (b *Budget) Save(file string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfbudget: %w", err)
+	}
+	return atomicio.WriteFile(file, append(data, '\n'), 0o644)
+}
+
+// PackageList returns the budget's package scope, sorted.
+func (b *Budget) PackageList() []string {
+	pkgs := make([]string, 0, len(b.Packages))
+	for pkg := range b.Packages {
+		pkgs = append(pkgs, pkg)
+	}
+	sortStrings(pkgs)
+	return pkgs
+}
+
+// Counts tallies the actual per-package costs from one diagnostic build,
+// attributing each site to the package whose directory prefixes its file.
+func Counts(diags *Diagnostics, pkgs []string) map[string]PackageBudget {
+	out := make(map[string]PackageBudget, len(pkgs))
+	for _, pkg := range pkgs {
+		out[pkg] = PackageBudget{}
+	}
+	tally := func(sites []Site, bump func(*PackageBudget)) {
+		for _, s := range sites {
+			pkg := path.Dir(path.Clean(s.File))
+			if pb, ok := out[pkg]; ok {
+				bump(&pb)
+				out[pkg] = pb
+			}
+		}
+	}
+	tally(diags.Escapes, func(pb *PackageBudget) { pb.Escapes++ })
+	tally(diags.Bounds, func(pb *PackageBudget) { pb.BoundsChecks++ })
+	return out
+}

@@ -1,0 +1,192 @@
+package perfbudget
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBudgetRoundTrip(t *testing.T) {
+	b := &Budget{
+		Schema: BudgetSchema,
+		Go:     "go1.24",
+		Packages: map[string]PackageBudget{
+			"internal/trace": {Escapes: 3, BoundsChecks: 7},
+			"internal/btb":   {Escapes: 0, BoundsChecks: 2},
+		},
+	}
+	file := filepath.Join(t.TempDir(), "PERF_BUDGET.json")
+	if err := b.Save(file); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBudget(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("round trip = %+v, want %+v", got, b)
+	}
+
+	// Regeneration is byte-stable: identical counts marshal identically.
+	file2 := filepath.Join(t.TempDir(), "PERF_BUDGET.json")
+	if err := b.Save(file2); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := os.ReadFile(file)
+	d2, _ := os.ReadFile(file2)
+	if string(d1) != string(d2) {
+		t.Errorf("serialization is not byte-stable:\n%s\nvs\n%s", d1, d2)
+	}
+
+	if got := b.PackageList(); !reflect.DeepEqual(got, []string{"internal/btb", "internal/trace"}) {
+		t.Errorf("PackageList() = %v", got)
+	}
+}
+
+func TestLoadBudgetRejects(t *testing.T) {
+	write := func(t *testing.T, content string) string {
+		t.Helper()
+		file := filepath.Join(t.TempDir(), "PERF_BUDGET.json")
+		if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return file
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"bad json", "{", "parsing"},
+		{"wrong schema", `{"schema": 99, "go": "go1.24", "packages": {"internal/btb": {}}}`, "schema 99"},
+		{"no packages", `{"schema": 1, "go": "go1.24", "packages": {}}`, "no packages"},
+		{"absolute key", `{"schema": 1, "go": "go1.24", "packages": {"/internal/btb": {}}}`, "not a clean module-relative dir"},
+		{"unclean key", `{"schema": 1, "go": "go1.24", "packages": {"internal/../internal/btb": {}}}`, "not a clean module-relative dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadBudget(write(t, tc.content))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := LoadBudget(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestCountsAttribution(t *testing.T) {
+	diags := &Diagnostics{
+		Escapes: []Site{
+			{File: "internal/btb/a.go", Line: 1, Col: 1, Text: "moved to heap: x"},
+			{File: "internal/btb/b.go", Line: 2, Col: 1, Text: "y escapes to heap"},
+			{File: "internal/trace/c.go", Line: 3, Col: 1, Text: "moved to heap: z"},
+			{File: "cmd/other/d.go", Line: 4, Col: 1, Text: "moved to heap: w"}, // outside scope
+		},
+		Bounds: []Site{
+			{File: "internal/trace/c.go", Line: 9, Col: 1, Text: "Found IsInBounds"},
+		},
+	}
+	got := Counts(diags, []string{"internal/btb", "internal/trace"})
+	want := map[string]PackageBudget{
+		"internal/btb":   {Escapes: 2},
+		"internal/trace": {Escapes: 1, BoundsChecks: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+// TestCheckBudget covers the cap comparison: overrun fails, exact match is
+// clean, slack is clean unless drift checking is on.
+func TestCheckBudget(t *testing.T) {
+	diags := &Diagnostics{
+		Escapes: []Site{
+			{File: "internal/btb/a.go", Line: 1, Col: 1, Text: "moved to heap: x"},
+			{File: "internal/btb/a.go", Line: 2, Col: 1, Text: "moved to heap: y"},
+		},
+		Bounds: []Site{
+			{File: "internal/btb/a.go", Line: 3, Col: 1, Text: "Found IsInBounds"},
+		},
+	}
+	budget := func(esc, bce int) *Budget {
+		return &Budget{Schema: 1, Go: "go1.24", Packages: map[string]PackageBudget{
+			"internal/btb": {Escapes: esc, BoundsChecks: bce},
+		}}
+	}
+	opt := CheckOptions{BudgetFile: "PERF_BUDGET.json"}
+
+	if got := Check(diags, nil, budget(2, 1), opt); len(got) != 0 {
+		t.Errorf("exact match: findings = %+v", got)
+	}
+	got := Check(diags, nil, budget(1, 1), opt)
+	if len(got) != 1 || got[0].Check != "budget" || !strings.Contains(got[0].Message, "2 heap-escape sites exceed the budgeted 1") {
+		t.Errorf("overrun: findings = %+v", got)
+	}
+	if got[0].File != "PERF_BUDGET.json" {
+		t.Errorf("budget finding anchors at %q, want the budget file", got[0].File)
+	}
+	if got := Check(diags, nil, budget(5, 1), opt); len(got) != 0 {
+		t.Errorf("slack without -drift: findings = %+v", got)
+	}
+	driftOpt := CheckOptions{BudgetFile: "PERF_BUDGET.json", Drift: true}
+	got = Check(diags, nil, budget(5, 1), driftOpt)
+	if len(got) != 1 || got[0].Check != "drift" || !strings.Contains(got[0].Message, "2 heap-escape sites measured but 5 budgeted") {
+		t.Errorf("drift: findings = %+v", got)
+	}
+}
+
+// TestCheckDirectives covers the per-function contract checks against a
+// hand-built model.
+func TestCheckDirectives(t *testing.T) {
+	srcs := []*PackageSource{{
+		Pkg:   "internal/btb",
+		Files: []string{"internal/btb/a.go"},
+		Funcs: []Function{
+			{Name: "Clean", File: "internal/btb/a.go", DeclLine: 10, StartLine: 10, EndLine: 20, Directives: []string{DirNoalloc, DirNobce}},
+			{Name: "(*T).Leaky", File: "internal/btb/a.go", DeclLine: 30, StartLine: 30, EndLine: 40, Directives: []string{DirNoalloc}},
+			{Name: "Checked", File: "internal/btb/a.go", DeclLine: 50, StartLine: 50, EndLine: 60, Directives: []string{DirNobce}},
+			{Name: "Hot", File: "internal/btb/a.go", DeclLine: 70, StartLine: 70, EndLine: 75, Directives: []string{DirInline}},
+			{Name: "Refused", File: "internal/btb/a.go", DeclLine: 80, StartLine: 80, EndLine: 95, Directives: []string{DirInline}},
+			{Name: "Uncovered", File: "internal/btb/other.go", DeclLine: 5, StartLine: 5, EndLine: 9, Directives: []string{DirInline}},
+		},
+	}}
+	diags := &Diagnostics{
+		Escapes: []Site{
+			{File: "internal/btb/a.go", Line: 35, Col: 3, Text: "moved to heap: buf"},
+			{File: "internal/btb/a.go", Line: 25, Col: 3, Text: "moved to heap: between"}, // between functions: attributed to neither
+		},
+		Bounds: []Site{
+			{File: "internal/btb/a.go", Line: 55, Col: 9, Text: "Found IsInBounds"},
+		},
+		Inlines: []Inline{
+			{File: "internal/btb/a.go", Line: 70, Col: 6, Name: "Hot", Can: true, Cost: 12},
+			{File: "internal/btb/a.go", Line: 80, Col: 6, Name: "Refused", Can: false, Reason: "function too complex: cost 902 exceeds budget 80"},
+		},
+	}
+	budget := &Budget{Schema: 1, Go: "go1.24", Packages: map[string]PackageBudget{
+		"internal/btb": {Escapes: 2, BoundsChecks: 1},
+	}}
+	got := Check(diags, srcs, budget, CheckOptions{BudgetFile: "PERF_BUDGET.json"})
+
+	wantSubstrings := []string{
+		"heap escape in //pdede:noalloc function (*T).Leaky: moved to heap: buf",
+		"unelided bounds check in //pdede:nobce function Checked: Found IsInBounds",
+		"//pdede:inline function Refused does not inline: function too complex: cost 902 exceeds budget 80",
+		"no inlining decision recorded for //pdede:inline function Uncovered",
+	}
+	if len(got) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d: %+v", len(got), len(wantSubstrings), got)
+	}
+	// Findings sort by (file, line): a.go lines 35, 55, 80, then other.go.
+	order := []int{0, 1, 2, 3}
+	wantByIndex := map[int]string{
+		0: wantSubstrings[0], 1: wantSubstrings[1], 2: wantSubstrings[2], 3: wantSubstrings[3],
+	}
+	for _, i := range order {
+		if !strings.Contains(got[i].Message, wantByIndex[i]) {
+			t.Errorf("finding[%d] = %q, want substring %q", i, got[i].Message, wantByIndex[i])
+		}
+	}
+}

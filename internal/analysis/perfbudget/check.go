@@ -1,0 +1,151 @@
+package perfbudget
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one contract violation. Check names identify the violated
+// contract in diagnostics and the gate's -json output: "noalloc",
+// "inline", "nobce" for directive contracts, "budget" for cap overruns,
+// "drift" for a stale budget file.
+type Finding struct {
+	File    string // source file for directive findings, the budget file for budget/drift
+	Line    int
+	Col     int
+	Check   string
+	Message string
+}
+
+// CheckOptions configure one reconciliation.
+type CheckOptions struct {
+	// BudgetFile anchors budget/drift findings (the path the user should
+	// edit or regenerate).
+	BudgetFile string
+	// Drift makes a budget whose caps no longer equal the measured counts
+	// a finding in either direction: caps must ratchet down with the code,
+	// not linger as slack a regression could hide in.
+	Drift bool
+}
+
+// Check reconciles a diagnostic build against the declared contracts: each
+// annotated function's directives, then the per-package caps. Findings
+// come back sorted (file, line, col, check).
+func Check(diags *Diagnostics, srcs []*PackageSource, budget *Budget, opt CheckOptions) []Finding {
+	var out []Finding
+	for _, ps := range srcs {
+		for _, fn := range ps.Funcs {
+			out = append(out, checkFunc(diags, fn)...)
+		}
+	}
+	out = append(out, checkBudget(diags, budget, opt)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// checkFunc judges one annotated function against the sites and decisions
+// the compiler reported inside it.
+func checkFunc(diags *Diagnostics, fn Function) []Finding {
+	var out []Finding
+	inBody := func(s Site) bool {
+		return s.File == fn.File && s.Line >= fn.StartLine && s.Line <= fn.EndLine
+	}
+	for _, dir := range fn.Directives {
+		switch dir {
+		case DirNoalloc:
+			for _, s := range diags.Escapes {
+				if inBody(s) {
+					out = append(out, Finding{
+						File: s.File, Line: s.Line, Col: s.Col, Check: DirNoalloc,
+						Message: fmt.Sprintf("heap escape in //pdede:noalloc function %s: %s", fn.Name, s.Text),
+					})
+				}
+			}
+		case DirNobce:
+			for _, s := range diags.Bounds {
+				if inBody(s) {
+					out = append(out, Finding{
+						File: s.File, Line: s.Line, Col: s.Col, Check: DirNobce,
+						Message: fmt.Sprintf("unelided bounds check in //pdede:nobce function %s: %s", fn.Name, s.Text),
+					})
+				}
+			}
+		case DirInline:
+			out = append(out, checkInline(diags, fn)...)
+		}
+	}
+	return out
+}
+
+// checkInline matches the function to its inlining decision by declaration
+// position (the compiler anchors decisions at the func keyword's line).
+func checkInline(diags *Diagnostics, fn Function) []Finding {
+	for _, in := range diags.Inlines {
+		if in.File != fn.File || in.Line != fn.DeclLine {
+			continue
+		}
+		if in.Can {
+			return nil
+		}
+		return []Finding{{
+			File: in.File, Line: in.Line, Col: in.Col, Check: DirInline,
+			Message: fmt.Sprintf("//pdede:inline function %s does not inline: %s", fn.Name, in.Reason),
+		}}
+	}
+	return []Finding{{
+		File: fn.File, Line: fn.DeclLine, Col: 1, Check: DirInline,
+		Message: fmt.Sprintf("no inlining decision recorded for //pdede:inline function %s (diagnostic build did not cover its file?)", fn.Name),
+	}}
+}
+
+// checkBudget compares measured per-package counts against the caps.
+func checkBudget(diags *Diagnostics, budget *Budget, opt CheckOptions) []Finding {
+	var out []Finding
+	pkgs := budget.PackageList()
+	counts := Counts(diags, pkgs)
+	for _, pkg := range pkgs {
+		cap, got := budget.Packages[pkg], counts[pkg]
+		report := func(kind string, gotN, capN int) {
+			switch {
+			case gotN > capN:
+				out = append(out, Finding{
+					File: opt.BudgetFile, Check: "budget",
+					Message: fmt.Sprintf("package %s: %d %s exceed the budgeted %d (fix the regression, or raise the cap deliberately and note why)",
+						pkg, gotN, kind, capN),
+				})
+			case gotN < capN && opt.Drift:
+				out = append(out, Finding{
+					File: opt.BudgetFile, Check: "drift",
+					Message: fmt.Sprintf("package %s: %d %s measured but %d budgeted — stale caps hide future regressions (run -update-budget and commit)",
+						pkg, gotN, kind, capN),
+				})
+			}
+		}
+		report("heap-escape sites", got.Escapes, cap.Escapes)
+		report("residual bounds checks", got.BoundsChecks, cap.BoundsChecks)
+	}
+	return out
+}
+
+// UpdateBudget builds the budget document for the measured counts.
+func UpdateBudget(diags *Diagnostics, pkgs []string, goVersion string) *Budget {
+	return &Budget{
+		Schema:   BudgetSchema,
+		Go:       MinorVersion(goVersion),
+		Packages: Counts(diags, pkgs),
+	}
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,113 @@
+package perfbudget
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// DiagFlags is the -gcflags value that makes the compiler narrate every
+// decision the contracts pin: -m=2 for escape analysis and inlining (with
+// costs and refusal reasons), the check_bce debug key for every bounds
+// check SSA failed to eliminate.
+const DiagFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// Compile runs the diagnostic build over the module-relative package dirs
+// and parses the compiler's stderr. The build cache replays diagnostics on
+// hits, so repeated runs cost one `go build` of already-compiled packages.
+// A failing build (the tree does not compile) is an operational error, not
+// a finding.
+func Compile(moduleDir string, pkgs []string) (*Diagnostics, error) {
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("perfbudget: no packages to compile")
+	}
+	args := []string{"build", "-gcflags=" + DiagFlags}
+	for _, p := range pkgs {
+		args = append(args, "./"+filepath.ToSlash(p))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("perfbudget: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return Parse(&stderr)
+}
+
+// GoVersion reports the toolchain the gate compiles with ("go1.24.0"),
+// asking the same `go` binary Compile shells out to — not the one the gate
+// itself was built by.
+func GoVersion(moduleDir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOVERSION")
+	cmd.Dir = moduleDir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("perfbudget: go env GOVERSION: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// MinorVersion trims a toolchain version to its minor release ("go1.24.0"
+// → "go1.24"): the diagnostic formats and counts are stable within a minor
+// series, which is the granularity the budget file records.
+func MinorVersion(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// listedPackage is the subset of `go list -json` output the scanner needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// listPackages resolves the module-relative package dirs to their compiled
+// (non-test, build-constraint-filtered) file sets.
+func listPackages(moduleDir string, pkgs []string) (map[string]*listedPackage, error) {
+	args := []string{"list", "-json=ImportPath,Dir,GoFiles,Error", "--"}
+	for _, p := range pkgs {
+		args = append(args, "./"+filepath.ToSlash(p))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("perfbudget: go list: %v\n%s", err, stderr.String())
+	}
+	byDir := make(map[string]*listedPackage, len(pkgs))
+	dec := json.NewDecoder(bytes.NewReader(out))
+	i := 0
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("perfbudget: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("perfbudget: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if i >= len(pkgs) {
+			return nil, fmt.Errorf("perfbudget: go list returned more packages than requested")
+		}
+		// go list preserves argument order, so the i-th record is pkgs[i].
+		byDir[pkgs[i]] = &lp
+		i++
+	}
+	if i != len(pkgs) {
+		return nil, fmt.Errorf("perfbudget: go list returned %d packages, want %d", i, len(pkgs))
+	}
+	return byDir, nil
+}

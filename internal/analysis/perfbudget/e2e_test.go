@@ -1,0 +1,177 @@
+package perfbudget_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lintkit/linttest"
+	"repro/internal/analysis/perfbudget"
+)
+
+// cleanSeed is a module whose contracts all hold: the annotated functions
+// allocate nothing, keep bounds checks elided, and inline.
+const cleanSeed = `package btb
+
+// Sum is the hot accumulation kernel.
+//
+//pdede:noalloc
+//pdede:nobce
+func Sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// Mask is a tiny hot helper.
+//
+//pdede:inline
+//pdede:noalloc
+func Mask(v uint64, bits uint) uint64 {
+	return v & (1<<bits - 1)
+}
+`
+
+// corruptSeed injects one violation per contract: Sum's returned pointer
+// moves a local to the heap (noalloc), the unhinted index keeps its bounds
+// check (nobce), and the defer blocks inlining (inline).
+const corruptSeed = `package btb
+
+var sink *int
+
+// Sum leaks a local.
+//
+//pdede:noalloc
+//pdede:nobce
+func Sum(xs []int, idx []int) int {
+	t := 0
+	for _, i := range idx {
+		t += xs[i]
+	}
+	sink = &t
+	return t
+}
+
+// Mask defers, so it cannot inline.
+//
+//pdede:inline
+func Mask(v uint64, bits uint) uint64 {
+	defer func() {}()
+	return v & (1<<bits - 1)
+}
+`
+
+func runGate(t *testing.T, src string) []perfbudget.Finding {
+	t.Helper()
+	dir := linttest.WriteModule(t, map[string]string{
+		"go.mod":              "module fix\n\ngo 1.23\n",
+		"internal/btb/btb.go": src,
+	})
+	pkgs := []string{"internal/btb"}
+	srcs, err := perfbudget.ScanPackages(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := perfbudget.Compile(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := perfbudget.UpdateBudget(diags, pkgs, "go1.24.0")
+	// The regenerated budget always matches the measured counts, so any
+	// finding below is a directive-contract violation.
+	return perfbudget.Check(diags, srcs, budget, perfbudget.CheckOptions{BudgetFile: "PERF_BUDGET.json"})
+}
+
+// TestGateCleanModule proves a conforming module produces zero findings:
+// the directives and the diagnostic build agree end to end.
+func TestGateCleanModule(t *testing.T) {
+	if got := runGate(t, cleanSeed); len(got) != 0 {
+		t.Errorf("clean module: findings = %+v", got)
+	}
+}
+
+// TestGateCorruptModule proves each injected violation surfaces as exactly
+// the right contract finding, anchored in the seeded file.
+func TestGateCorruptModule(t *testing.T) {
+	got := runGate(t, corruptSeed)
+	want := map[string]string{
+		perfbudget.DirNoalloc: "heap escape in //pdede:noalloc function Sum",
+		perfbudget.DirNobce:   "unelided bounds check in //pdede:nobce function Sum",
+		perfbudget.DirInline:  "//pdede:inline function Mask does not inline",
+	}
+	found := map[string]bool{}
+	for _, f := range got {
+		sub, ok := want[f.Check]
+		if !ok {
+			t.Errorf("unexpected check %q: %+v", f.Check, f)
+			continue
+		}
+		if !strings.Contains(f.Message, sub) {
+			t.Errorf("finding %q = %q, want substring %q", f.Check, f.Message, sub)
+		}
+		if f.File != "internal/btb/btb.go" {
+			t.Errorf("finding %q anchors at %q, want the seeded file", f.Check, f.File)
+		}
+		found[f.Check] = true
+	}
+	for check := range want {
+		if !found[check] {
+			t.Errorf("no %q finding surfaced; got %+v", check, got)
+		}
+	}
+}
+
+// TestScanPackages pins the source model: module-relative slash paths,
+// compiler-style names, directive sets, and test-file exclusion.
+func TestScanPackages(t *testing.T) {
+	dir := linttest.WriteModule(t, map[string]string{
+		"go.mod": "module fix\n\ngo 1.23\n",
+		"internal/btb/btb.go": `package btb
+
+type Reader struct{ off int }
+
+// Next advances.
+//
+//pdede:noalloc
+//pdede:nobce
+func (r *Reader) Next() int { r.off++; return r.off }
+
+// Peek looks ahead.
+//
+//pdede:inline
+func (r Reader) Peek() int { return r.off }
+
+func plain() {}
+`,
+		"internal/btb/btb_test.go": `package btb
+
+//pdede:noalloc
+func helperInTest() {}
+`,
+	})
+	srcs, err := perfbudget.ScanPackages(dir, []string{"internal/btb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 1 || srcs[0].Pkg != "internal/btb" {
+		t.Fatalf("srcs = %+v", srcs)
+	}
+	ps := srcs[0]
+	if len(ps.Files) != 1 || ps.Files[0] != "internal/btb/btb.go" {
+		t.Errorf("Files = %v, want only the non-test file", ps.Files)
+	}
+	if len(ps.Funcs) != 2 {
+		t.Fatalf("Funcs = %+v, want the two annotated functions", ps.Funcs)
+	}
+	next, peek := ps.Funcs[0], ps.Funcs[1]
+	if next.Name != "(*Reader).Next" || len(next.Directives) != 2 {
+		t.Errorf("Next = %+v", next)
+	}
+	if peek.Name != "Reader.Peek" || len(peek.Directives) != 1 || peek.Directives[0] != perfbudget.DirInline {
+		t.Errorf("Peek = %+v", peek)
+	}
+	if next.File != "internal/btb/btb.go" || next.DeclLine == 0 || next.EndLine < next.StartLine {
+		t.Errorf("Next position = %+v", next)
+	}
+}

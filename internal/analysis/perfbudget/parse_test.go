@@ -1,0 +1,137 @@
+package perfbudget
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parseFixture parses one committed diagnostic transcript.
+func parseFixture(t *testing.T, name string) *Diagnostics {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestParseFixture pins the model extracted from the go1.24 transcript:
+// every escape site exactly once (the -m=2 verbose form repeats each site
+// with flow traces), both bounds-check variants, and all six inlining
+// decisions with costs and refusal reasons.
+func TestParseFixture(t *testing.T) {
+	d := parseFixture(t, "diag_go1.24.txt")
+
+	wantEscapes := []Site{
+		{File: "pkg/pkg.go", Line: 5, Col: 11, Text: "make([]int, n) escapes to heap"},
+		{File: "pkg/pkg.go", Line: 25, Col: 40, Text: "v escapes to heap"},
+		{File: "pkg/pkg.go", Line: 29, Col: 2, Text: "moved to heap: x"},
+	}
+	if !reflect.DeepEqual(d.Escapes, wantEscapes) {
+		t.Errorf("escapes = %+v, want %+v", d.Escapes, wantEscapes)
+	}
+
+	wantBounds := []Site{
+		{File: "pkg/pkg.go", Line: 16, Col: 10, Text: "Found IsInBounds"},
+		{File: "pkg/pkg.go", Line: 41, Col: 12, Text: "Found IsSliceInBounds"},
+	}
+	if !reflect.DeepEqual(d.Bounds, wantBounds) {
+		t.Errorf("bounds = %+v, want %+v", d.Bounds, wantBounds)
+	}
+
+	if len(d.Inlines) != 6 {
+		t.Fatalf("got %d inline decisions, want 6: %+v", len(d.Inlines), d.Inlines)
+	}
+	grow := d.Inlines[0]
+	if grow.Name != "Grow" || !grow.Can || grow.Cost != 18 || grow.Line != 4 {
+		t.Errorf("Grow decision = %+v", grow)
+	}
+	big := d.Inlines[5]
+	if big.Name != "Big" || big.Can || big.Reason != "unhandled op DEFER" {
+		t.Errorf("Big decision = %+v", big)
+	}
+}
+
+// TestParseToolchainStability proves the parser extracts the same model
+// from the go1.23 and go1.24 transcript formats, modulo inline costs
+// (which legitimately drift across compiler releases).
+func TestParseToolchainStability(t *testing.T) {
+	old := parseFixture(t, "diag_go1.23.txt")
+	cur := parseFixture(t, "diag_go1.24.txt")
+
+	if !reflect.DeepEqual(old.Escapes, cur.Escapes) {
+		t.Errorf("escape sites differ across toolchains:\n go1.23: %+v\n go1.24: %+v", old.Escapes, cur.Escapes)
+	}
+	if !reflect.DeepEqual(old.Bounds, cur.Bounds) {
+		t.Errorf("bounds sites differ across toolchains:\n go1.23: %+v\n go1.24: %+v", old.Bounds, cur.Bounds)
+	}
+	norm := func(ins []Inline) []Inline {
+		out := make([]Inline, len(ins))
+		copy(out, ins)
+		for i := range out {
+			out[i].Cost = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(norm(old.Inlines), norm(cur.Inlines)) {
+		t.Errorf("inline decisions differ across toolchains (modulo cost):\n go1.23: %+v\n go1.24: %+v", old.Inlines, cur.Inlines)
+	}
+}
+
+// TestParseClassification exercises the line classifier edge cases
+// directly.
+func TestParseClassification(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		escapes int
+		bounds  int
+		inlines int
+	}{
+		{"empty", "", 0, 0, 0},
+		{"header only", "# repro/internal/btb\n", 0, 0, 0},
+		{"verbose form not counted", "a.go:1:2: x escapes to heap:\na.go:1:2:   flow: {heap} = &x:\n", 0, 0, 0},
+		{"summary after verbose counted once", "a.go:1:2: x escapes to heap:\na.go:1:2:   flow: {heap} = &x:\na.go:1:2: x escapes to heap\n", 1, 0, 0},
+		{"duplicate summary deduped", "a.go:1:2: moved to heap: x\na.go:1:2: moved to heap: x\n", 1, 0, 0},
+		{"does not escape ignored", "a.go:3:4: buf does not escape\n", 0, 0, 0},
+		{"both bce ops", "a.go:5:6: Found IsInBounds\na.go:7:8: Found IsSliceInBounds\n", 0, 2, 0},
+		{"can inline without cost", "a.go:9:6: can inline F\n", 0, 0, 1},
+		{"unknown lines skipped", "a.go:1:1: leaking param: p\nnot a diagnostic at all\n", 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Escapes) != tc.escapes || len(d.Bounds) != tc.bounds || len(d.Inlines) != tc.inlines {
+				t.Errorf("got %d escapes, %d bounds, %d inlines; want %d, %d, %d",
+					len(d.Escapes), len(d.Bounds), len(d.Inlines), tc.escapes, tc.bounds, tc.inlines)
+			}
+		})
+	}
+}
+
+func TestMinorVersion(t *testing.T) {
+	cases := map[string]string{
+		"go1.24.0":   "go1.24",
+		"go1.23.5":   "go1.23",
+		"go1.24":     "go1.24",
+		"devel":      "devel",
+		"go1.25rc1":  "go1.25rc1",
+		"go1.25.0.1": "go1.25",
+	}
+	for in, want := range cases {
+		if got := MinorVersion(in); got != want {
+			t.Errorf("MinorVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package perfbudget makes the Go compiler's escape-analysis, inlining and
+// bounds-check-elimination decisions a checked, versioned contract.
+//
+// The simulator's throughput rests on properties the compiler decides
+// silently: whether BlockReader.NextBatch stays allocation-free, whether
+// the branchless varint fast path keeps its bounds checks elided, whether
+// the probe memos inline. Nothing in ordinary CI pins any of that — one
+// innocent refactor sends a hot struct to the heap and the bench gate only
+// fires once the regression compounds past its tolerance. This package
+// runs the compiler in diagnostic mode
+//
+//	go build -gcflags='-m=2 -d=ssa/check_bce/debug=1' <hot packages>
+//
+// parses the diagnostics (heap-escape sites, inlining decisions with cost
+// or refusal reason, residual bounds checks) into a structured
+// per-function model, and reconciles it against two kinds of declared
+// contract:
+//
+//   - function directives in doc comments — `//pdede:noalloc` (no
+//     heap-escape site anywhere in the body), `//pdede:inline` (the
+//     compiler must report "can inline"), `//pdede:nobce` (no residual
+//     bounds check in the body);
+//   - a committed budget file (PERF_BUDGET.json) capping the total
+//     heap-escape sites and residual bounds checks per hot package, so
+//     unannotated code cannot quietly regress either.
+//
+// The compiler replays cached diagnostics on build-cache hits, so repeated
+// runs are cheap and deterministic for a fixed toolchain. Counts do drift
+// across compiler releases; the budget file records the toolchain that
+// generated it and the gate (cmd/pdede-perfgate) prints a notice when run
+// under a different one.
+package perfbudget
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// DefaultPackages is the hot-package set budgeted when no committed budget
+// file exists yet (module-relative package directories).
+var DefaultPackages = []string{
+	"internal/btb",
+	"internal/core",
+	"internal/pdede",
+	"internal/predictor",
+	"internal/trace",
+}
+
+// Site is one compiler diagnostic anchored to a source position: a
+// heap-escape site or a residual bounds check.
+type Site struct {
+	File string // module-relative path as printed by the compiler
+	Line int
+	Col  int
+	Text string // e.g. "moved to heap: buf", "Found IsInBounds"
+}
+
+// Inline is one inlining decision. The compiler anchors it at the function
+// declaration.
+type Inline struct {
+	File   string
+	Line   int
+	Col    int
+	Name   string // as the compiler renders it, e.g. (*BlockReader).NextBatch
+	Can    bool
+	Cost   int    // valid when Can and the output carried a cost (-m=2)
+	Reason string // valid when !Can
+}
+
+// Diagnostics is the parsed compiler output for one diagnostic build.
+type Diagnostics struct {
+	Escapes []Site
+	Bounds  []Site
+	Inlines []Inline
+}
+
+var (
+	// posRe splits "file.go:line:col: message".
+	posRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+	// canRe matches both -m=1 ("can inline F") and -m=2 ("can inline F
+	// with cost 76 as: ...") forms across toolchains.
+	canRe = regexp.MustCompile(`^can inline (\S+)(?: with cost (\d+))?`)
+	// cannotRe captures the refusal reason ("function too complex: cost
+	// 902 exceeds budget 80", "unhandled op DEFER", ...).
+	cannotRe = regexp.MustCompile(`^cannot inline (\S+): (.*)$`)
+)
+
+// Parse reads raw `go build` stderr and extracts the structured model. It
+// tolerates the diagnostic format of every toolchain in the CI matrix (go
+// 1.23 and 1.24): `# package` headers and unknown lines are skipped,
+// indented flow explanations and the duplicated verbose escape form
+// ("x escapes to heap:" with a trailing colon) are ignored in favor of the
+// one-per-site summary lines, and inline costs are optional.
+func Parse(r io.Reader) (*Diagnostics, error) {
+	d := &Diagnostics{}
+	seen := make(map[Site]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := posRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			continue // indented continuation (escape flow traces)
+		}
+		file := m[1]
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		site := Site{File: file, Line: ln, Col: col, Text: msg}
+		switch {
+		case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+			if !seen[site] {
+				seen[site] = true
+				d.Bounds = append(d.Bounds, site)
+			}
+		case strings.HasPrefix(msg, "moved to heap: "),
+			strings.HasSuffix(msg, " escapes to heap"):
+			// The -m=2 verbose form ends in a colon and repeats per flow;
+			// only the summary form (matched here) counts a site once.
+			if !seen[site] {
+				seen[site] = true
+				d.Escapes = append(d.Escapes, site)
+			}
+		default:
+			if cm := cannotRe.FindStringSubmatch(msg); cm != nil {
+				d.Inlines = append(d.Inlines, Inline{
+					File: file, Line: ln, Col: col,
+					Name: cm[1], Can: false, Reason: cm[2],
+				})
+				break
+			}
+			if cm := canRe.FindStringSubmatch(msg); cm != nil {
+				in := Inline{File: file, Line: ln, Col: col, Name: cm[1], Can: true}
+				if cm[2] != "" {
+					in.Cost, _ = strconv.Atoi(cm[2])
+				}
+				d.Inlines = append(d.Inlines, in)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfbudget: reading compiler output: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,154 @@
+package perfbudget
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Function directives: each names one compiler-witnessed property of the
+// annotated function.
+const (
+	// DirNoalloc: no heap-escape site anywhere in the body.
+	DirNoalloc = "noalloc"
+	// DirInline: the compiler must decide "can inline".
+	DirInline = "inline"
+	// DirNobce: no residual bounds check in the body.
+	DirNobce = "nobce"
+)
+
+// directivePrefix mirrors lintkit.DirectivePrefix; perfbudget parses
+// fixture modules standalone (no type-checking), so it keeps its own copy.
+const directivePrefix = "//pdede:"
+
+// Function is one annotated declaration: where it lives, which contracts
+// it declares, and the body range compiler sites are attributed to.
+type Function struct {
+	Name       string // compiler rendering: F, T.M or (*T).M
+	File       string // module-relative, slash-separated
+	DeclLine   int    // line of the func keyword — inline decisions anchor here
+	StartLine  int
+	EndLine    int
+	Directives []string // subset of {noalloc, inline, nobce}, in source order
+}
+
+// PackageSource is the scanned source of one budgeted package.
+type PackageSource struct {
+	Pkg   string   // module-relative package dir, the budget key
+	Files []string // module-relative compiled files (tests excluded)
+	Funcs []Function
+}
+
+// ScanPackages parses the compiled files of each budgeted package and
+// collects every function declaring a perfbudget directive. Only files the
+// build actually compiles are scanned (go list's GoFiles), so a directive
+// in a build-constraint-excluded file can never produce a phantom
+// "no decision recorded" finding.
+func ScanPackages(moduleDir string, pkgs []string) ([]*PackageSource, error) {
+	listed, err := listPackages(moduleDir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	// go list reports absolute Dirs; anchor Rel against the same form.
+	absModule, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, fmt.Errorf("perfbudget: %w", err)
+	}
+	fset := token.NewFileSet()
+	var out []*PackageSource
+	for _, pkg := range pkgs {
+		lp := listed[pkg]
+		ps := &PackageSource{Pkg: pkg}
+		for _, name := range lp.GoFiles {
+			abs := name
+			if !filepath.IsAbs(abs) {
+				abs = filepath.Join(lp.Dir, name)
+			}
+			rel, err := filepath.Rel(absModule, abs)
+			if err != nil {
+				return nil, fmt.Errorf("perfbudget: %s outside module %s: %w", abs, absModule, err)
+			}
+			rel = filepath.ToSlash(rel)
+			ps.Files = append(ps.Files, rel)
+			f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("perfbudget: %w", err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				dirs := funcDirectives(fd)
+				if len(dirs) == 0 {
+					continue
+				}
+				ps.Funcs = append(ps.Funcs, Function{
+					Name:       compilerName(fd),
+					File:       rel,
+					DeclLine:   fset.Position(fd.Pos()).Line,
+					StartLine:  fset.Position(fd.Pos()).Line,
+					EndLine:    fset.Position(fd.End()).Line,
+					Directives: dirs,
+				})
+			}
+		}
+		sort.Strings(ps.Files)
+		out = append(out, ps)
+	}
+	return out, nil
+}
+
+// funcDirectives extracts the perfbudget directives from a declaration's
+// doc comment.
+func funcDirectives(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var dirs []string
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(rest, " ")
+		switch name {
+		case DirNoalloc, DirInline, DirNobce:
+			dirs = append(dirs, name)
+		}
+	}
+	return dirs
+}
+
+// compilerName renders a declaration the way `-m` diagnostics name it:
+// plain functions as F, value-receiver methods as T.M, pointer-receiver
+// methods as (*T).M.
+func compilerName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		return "(*" + baseTypeName(star.X) + ")." + fd.Name.Name
+	}
+	return baseTypeName(t) + "." + fd.Name.Name
+}
+
+// baseTypeName renders a receiver base type, dropping type parameters
+// (generic receivers are rendered with their shape by the compiler; decl
+// line matching makes the name informational only).
+func baseTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return baseTypeName(e.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(e.X)
+	}
+	return "?"
+}

@@ -96,18 +96,36 @@ func (t *DedupTable) PtrBits() uint64 {
 	return uint64(bits.Len(uint(n - 1)))
 }
 
+// set maps a value to its set index; inlines into every Find probe.
+//
+//pdede:inline
+//pdede:noalloc
+//pdede:nobce
 func (t *DedupTable) set(v uint64) int {
 	return int(addr.Mix64(v) & t.setMask)
 }
 
 // Find returns the pointer holding value v, if present.
 //
+// The guarded up-front window lets the prove pass elide every per-way
+// bounds check in the scan (both windows share the length end-base, so
+// one range loop covers both); the guard itself is unreachable under the
+// sets*ways = len construction invariant.
+//
 //pdede:hot
+//pdede:noalloc
+//pdede:nobce
 func (t *DedupTable) Find(v uint64) (int, bool) {
 	s := t.set(v)
 	base := s * t.ways
-	for w := 0; w < t.ways; w++ {
-		if t.valid[base+w] && t.vals[base+w] == v {
+	end := base + t.ways
+	if base < 0 || end < base || end > len(t.vals) || end > len(t.valid) {
+		return 0, false
+	}
+	vals := t.vals[base:end]
+	valid := t.valid[base:end]
+	for w := range vals {
+		if valid[w] && vals[w] == v {
 			return base + w, true
 		}
 	}
@@ -155,9 +173,16 @@ func (t *DedupTable) FindOrInsert(v uint64) (ptr int, evicted bool) {
 
 // Get dereferences a pointer. ok is false for a never-written slot.
 //
+// The guard ranges ptr against both parallel arrays so the prove pass
+// elides the loads' bounds checks; this dereference sits on every
+// full-format Lookup and predictFrom, where it inlines.
+//
 //pdede:hot
+//pdede:inline
+//pdede:noalloc
+//pdede:nobce
 func (t *DedupTable) Get(ptr int) (uint64, bool) {
-	if ptr < 0 || ptr >= len(t.vals) || !t.valid[ptr] {
+	if ptr < 0 || ptr >= len(t.vals) || ptr >= len(t.valid) || !t.valid[ptr] {
 		return 0, false
 	}
 	return t.vals[ptr], true

@@ -325,47 +325,61 @@ func (p *PDede) Name() string { return p.name }
 func (p *PDede) Config() Config { return p.cfg }
 
 // narrow reports whether way w holds narrow (same-page-only) entries.
+//
+//pdede:inline
+//pdede:noalloc
 func (p *PDede) narrow(w int) bool { return w >= p.halfWays }
 
 // Lookup implements btb.TargetPredictor (§4.4.1).
 //
 //pdede:hot
+//pdede:noalloc
+//pdede:nobce
 func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 	set, tag := addr.IndexTag(pc, p.indexBits, btb.TagBits)
 	p.memoPC, p.memoSet, p.memoTag, p.memoWay, p.memoOK = pc, set, tag, -1, true
 	base := int(set) * p.cfg.Ways
+	end := base + p.cfg.Ways
 
 	armNext := false
 	var armOffset uint16
 	result := btb.Lookup{}
 	found := false
 
-	for w, st := range p.scanTags[base : base+p.cfg.Ways] {
-		if st != tag {
-			continue
-		}
-		e := &p.entries[base+w]
-		found = true
-		p.memoWay = int32(w)
-		if e.delta {
-			// Same-page: concatenate the PC's page with the stored offset;
-			// no Page/Region access, no extra cycle.
-			result = btb.Lookup{Hit: true, Target: pc.WithOffset(addr.PageOffset(e.offset))}
-			if e.ntValid {
-				armNext, armOffset = true, e.ntOffset
+	// The window guard is unreachable under the sets*ways = len
+	// construction invariant; stating it lets the prove pass elide every
+	// bounds check in the way scan (tags and ents share the length
+	// end-base).
+	if base >= 0 && end >= base && end <= len(p.scanTags) && end <= len(p.entries) {
+		tags := p.scanTags[base:end]
+		ents := p.entries[base:end]
+		for w, st := range tags {
+			if st != tag {
+				continue
 			}
-		} else {
-			pv, okP := p.pages.Get(int(e.pagePtr))
-			rv, okR := p.regions.Get(int(e.regionPtr))
-			if okP && okR {
-				result = btb.Lookup{
-					Hit:          true,
-					Target:       addr.Build(addr.RegionID(rv), addr.PageNum(pv), addr.PageOffset(e.offset)),
-					ExtraLatency: 1,
+			e := &ents[w]
+			found = true
+			p.memoWay = int32(w)
+			if e.delta {
+				// Same-page: concatenate the PC's page with the stored offset;
+				// no Page/Region access, no extra cycle.
+				result = btb.Lookup{Hit: true, Target: pc.WithOffset(addr.PageOffset(e.offset))}
+				if e.ntValid {
+					armNext, armOffset = true, e.ntOffset
+				}
+			} else {
+				pv, okP := p.pages.Get(int(e.pagePtr))
+				rv, okR := p.regions.Get(int(e.regionPtr))
+				if okP && okR {
+					result = btb.Lookup{
+						Hit:          true,
+						Target:       addr.Build(addr.RegionID(rv), addr.PageNum(pv), addr.PageOffset(e.offset)),
+						ExtraLatency: 1,
+					}
 				}
 			}
+			break
 		}
-		break
 	}
 
 	if !found && p.cfg.Variant == MultiTarget && p.ntArmed {
@@ -387,6 +401,7 @@ func (p *PDede) Lookup(pc addr.VA) btb.Lookup {
 // Update implements btb.TargetPredictor (§4.4.2).
 //
 //pdede:hot
+//pdede:noalloc
 func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 	if !br.Taken {
 		return
@@ -498,6 +513,8 @@ func (p *PDede) Update(br isa.Branch, prior btb.Lookup) {
 // otherwise. The memo is consumed either way: the caller mutates the set.
 //
 //pdede:hot
+//pdede:noalloc
+//pdede:nobce
 func (p *PDede) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 	if p.memoOK && p.memoPC == pc {
 		p.memoOK = false
@@ -507,10 +524,14 @@ func (p *PDede) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 	set, tag = addr.IndexTag(pc, p.indexBits, btb.TagBits)
 	way = -1
 	base := int(set) * p.cfg.Ways
-	for w, st := range p.scanTags[base : base+p.cfg.Ways] {
-		if st == tag {
-			way = w
-			break
+	end := base + p.cfg.Ways
+	// Guarded window as in Lookup: unreachable guard, bounds-check-free scan.
+	if base >= 0 && end >= base && end <= len(p.scanTags) {
+		for w, st := range p.scanTags[base:end] {
+			if st == tag {
+				way = w
+				break
+			}
 		}
 	}
 	return set, tag, way
@@ -519,6 +540,8 @@ func (p *PDede) probe(pc addr.VA) (set addr.SetIndex, tag addr.Tag, way int) {
 // predictFrom reconstructs the target an entry currently encodes.
 //
 //pdede:hot
+//pdede:noalloc
+//pdede:nobce
 func (p *PDede) predictFrom(e *entry, pc addr.VA) (addr.VA, bool) {
 	if e.delta {
 		return pc.WithOffset(addr.PageOffset(e.offset)), true

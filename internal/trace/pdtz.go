@@ -394,6 +394,13 @@ type BlockReader struct {
 
 // corrupt builds a positioned decode error: global record index plus the
 // absolute byte offset within the backing file.
+//
+// Kept out of line: inlined into NextBatch, the fmt boxing of its
+// arguments becomes heap-escape sites inside the batch decode loop's
+// body, breaking that function's //pdede:noalloc contract and bloating
+// its frame for a path only corrupt inputs reach.
+//
+//go:noinline
 func (r *BlockReader) corrupt(field string) error {
 	return fmt.Errorf("pdtz: record %d at byte offset %d: %s", r.rec, r.start+int64(r.pos), field)
 }
@@ -436,6 +443,12 @@ func (r *BlockReader) nextBlock() error {
 // NextBatch implements BatchReader. It fills buf with up to len(buf)
 // records, crossing block boundaries as needed, and returns io.EOF (with
 // any records decoded before it) at the clean end of the trace.
+//
+// The decode loop — including the branchless varint fast path — must not
+// allocate; error construction is outlined (corrupt, nextBlock) to keep
+// every heap-escape site off this body.
+//
+//pdede:noalloc
 func (r *BlockReader) NextBatch(buf []isa.Branch) (int, error) {
 	n := 0
 	for n < len(buf) {
@@ -625,7 +638,12 @@ func (r *BlockReader) NextBatch(buf []isa.Branch) (int, error) {
 }
 
 // Next implements Reader: the single-record path decodes through the same
-// state machine as NextBatch.
+// state machine as NextBatch. The one-record buffer must stay on the
+// stack (NextBatch's buf parameter does not escape) and the constant
+// index needs no bounds check.
+//
+//pdede:noalloc
+//pdede:nobce
 func (r *BlockReader) Next() (isa.Branch, error) {
 	var one [1]isa.Branch
 	n, err := r.NextBatch(one[:])
